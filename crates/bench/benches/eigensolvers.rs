@@ -1,0 +1,62 @@
+//! Ablation bench: LOBPCG (with the preconditioners available) vs
+//! shift-invert Lanczos for the embedding eigenpairs of Step 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_core::{smallest_nonzero_eigenvalues, spectral_embedding, EmbeddingOptions, SpectrumMethod};
+use sgl_graph::laplacian::LaplacianOp;
+use sgl_linalg::lobpcg::{lobpcg, LobpcgOptions};
+use sgl_solver::{AmgHierarchy, AmgOptions, TreePreconditioner};
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_4_eigenpairs");
+    group.sample_size(10);
+    for side in [32usize, 48] {
+        let g = sgl_datasets::grid2d(side, side);
+        let n = g.num_nodes();
+        let op = LaplacianOp::new(&g);
+        let ones = vec![1.0; n];
+        // Identical, slightly relaxed settings for both preconditioners:
+        // the tree variant needs hundreds of iterations on meshes (that
+        // gap is the ablation finding), so give it the room to finish.
+        let opts = LobpcgOptions {
+            tol: 1e-6,
+            max_iter: 5000,
+            ..LobpcgOptions::default()
+        };
+
+        let amg = AmgHierarchy::build(&g, &AmgOptions::default());
+        group.bench_function(BenchmarkId::new("lobpcg_amg", n), |b| {
+            b.iter(|| lobpcg(&op, &amg, 4, std::slice::from_ref(&ones), &opts).unwrap())
+        });
+
+        let tree = TreePreconditioner::from_graph(&g);
+        group.bench_function(BenchmarkId::new("lobpcg_tree", n), |b| {
+            b.iter(|| lobpcg(&op, &tree, 4, std::slice::from_ref(&ones), &opts).unwrap())
+        });
+
+        group.bench_function(BenchmarkId::new("shift_invert_lanczos", n), |b| {
+            b.iter(|| smallest_nonzero_eigenvalues(&g, 4, SpectrumMethod::ShiftInvert).unwrap())
+        });
+
+        group.bench_function(BenchmarkId::new("full_embedding_pipeline", n), |b| {
+            b.iter(|| spectral_embedding(&g, 4, 0.0, &EmbeddingOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+
+    // The Fig. 2/3 workload: 50 smallest nonzero eigenvalues.
+    let mut group = c.benchmark_group("spectrum_50_eigenvalues");
+    group.sample_size(10);
+    let g = sgl_datasets::grid2d(40, 40);
+    group.bench_function("shift_invert_lanczos_1600", |b| {
+        b.iter(|| smallest_nonzero_eigenvalues(&g, 50, SpectrumMethod::ShiftInvert).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_embedding
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation bench: brute-force vs HNSW kNN graph construction on
+//! measurement-like data (Step 1 of the pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_core::Measurements;
+use sgl_knn::{build_knn_graph, BruteForceKnn, HnswIndex, HnswParams, KnnGraphConfig, KnnMethod, NearestNeighbors};
+
+fn measurement_rows(side: usize, m: usize) -> sgl_linalg::DenseMatrix {
+    let truth = sgl_datasets::grid2d(side, side);
+    let meas = Measurements::generate(&truth, m, 3).unwrap();
+    meas.voltages().clone()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_graph_build");
+    group.sample_size(10);
+    for side in [24usize, 40] {
+        let x = measurement_rows(side, 50);
+        let n = x.nrows();
+        group.bench_function(BenchmarkId::new("brute", n), |b| {
+            b.iter(|| {
+                build_knn_graph(
+                    &x,
+                    &KnnGraphConfig {
+                        k: 5,
+                        ..KnnGraphConfig::default()
+                    },
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("hnsw", n), |b| {
+            b.iter(|| {
+                build_knn_graph(
+                    &x,
+                    &KnnGraphConfig {
+                        k: 5,
+                        method: KnnMethod::Hnsw(HnswParams::default()),
+                        ..KnnGraphConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Query-time comparison on a fixed index.
+    let mut group = c.benchmark_group("knn_single_query");
+    let x = measurement_rows(40, 50);
+    let brute = BruteForceKnn::new(&x);
+    let hnsw = HnswIndex::build(&x, HnswParams::default());
+    let q = x.row(17).to_vec();
+    group.bench_function("brute_1600", |b| b.iter(|| brute.knn(&q, 5)));
+    group.bench_function("hnsw_1600", |b| b.iter(|| hnsw.knn(&q, 5)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_knn
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation bench: exact effective resistances (one solve per pair) vs
+//! the JL sketch (q solves of preprocessing, O(q) per query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgl_core::{pairwise_effective_resistances, sample_node_pairs, ResistanceSketch};
+
+fn bench_resistance(c: &mut Criterion) {
+    let g = sgl_datasets::grid2d(32, 32);
+    let n = g.num_nodes();
+    let pairs = sample_node_pairs(n, 100, 3);
+
+    let mut group = c.benchmark_group("effective_resistance");
+    group.sample_size(10);
+    group.bench_function("exact_100_pairs", |b| {
+        b.iter(|| pairwise_effective_resistances(&g, &pairs).unwrap())
+    });
+    group.bench_function("sketch_build_q64", |b| {
+        b.iter(|| ResistanceSketch::build(&g, 64, 5).unwrap())
+    });
+    let sketch = ResistanceSketch::build(&g, 64, 5).unwrap();
+    group.bench_function("sketch_query_100_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| sketch.estimate(s, t))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_resistance
+}
+criterion_main!(benches);

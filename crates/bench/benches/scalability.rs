@@ -1,0 +1,40 @@
+//! Criterion companion to Figure 11: SGL Steps 2–5 (kNN excluded) over a
+//! mesh-size sweep with a fixed iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgl_core::{Measurements, Sgl, SglConfig};
+use sgl_knn::{build_knn_graph, KnnGraphConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgl_steps2to5");
+    group.sample_size(10);
+    for side in [20usize, 30, 40] {
+        let truth = sgl_datasets::grid2d(side, side);
+        let n = truth.num_nodes();
+        let meas = Measurements::generate(&truth, 50, 7).unwrap();
+        let knn = build_knn_graph(
+            meas.voltages(),
+            &KnnGraphConfig {
+                k: 5,
+                ..KnnGraphConfig::default()
+            },
+        );
+        let cfg = SglConfig::default().with_tol(0.0).with_max_iterations(5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &knn, |b, knn| {
+            b.iter(|| {
+                Sgl::new(cfg.clone())
+                    .learn_from_knn(&meas, knn.clone())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_scalability
+}
+criterion_main!(benches);

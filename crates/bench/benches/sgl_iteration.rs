@@ -1,0 +1,72 @@
+//! The cost of one SGL iteration and the effect of the paper's knobs
+//! (`r` — embedding width; `β` — edges per iteration) on a fixed-size
+//! learning problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_core::sensitivity::CandidatePool;
+use sgl_core::{spectral_embedding, EmbeddingOptions, Measurements, Sgl, SglConfig};
+use sgl_graph::mst::maximum_spanning_tree;
+use sgl_knn::{build_knn_graph, KnnGraphConfig};
+
+fn bench_iteration_parts(c: &mut Criterion) {
+    let truth = sgl_datasets::grid2d(32, 32);
+    let meas = Measurements::generate(&truth, 50, 3).unwrap();
+    let knn = build_knn_graph(
+        meas.voltages(),
+        &KnnGraphConfig {
+            k: 5,
+            ..KnnGraphConfig::default()
+        },
+    );
+    let tree = maximum_spanning_tree(&knn);
+    let graph = tree.to_graph(&knn);
+    let pool = CandidatePool::from_off_tree(&knn, &tree, &meas);
+    let emb = spectral_embedding(&graph, 4, 0.0, &EmbeddingOptions::default()).unwrap();
+
+    let mut group = c.benchmark_group("sgl_iteration_parts");
+    group.sample_size(20);
+    group.bench_function("spectral_embedding_cold", |b| {
+        b.iter(|| spectral_embedding(&graph, 4, 0.0, &EmbeddingOptions::default()).unwrap())
+    });
+    group.bench_function("sensitivity_scoring", |b| {
+        b.iter(|| pool.sensitivities(&emb))
+    });
+    group.bench_function("candidate_pool_build", |b| {
+        b.iter(|| CandidatePool::from_off_tree(&knn, &tree, &meas))
+    });
+    group.finish();
+}
+
+fn bench_knob_ablation(c: &mut Criterion) {
+    let truth = sgl_datasets::grid2d(20, 20);
+    let meas = Measurements::generate(&truth, 40, 5).unwrap();
+
+    let mut group = c.benchmark_group("sgl_full_learn_ablation");
+    group.sample_size(10);
+    for r in [3usize, 5, 8] {
+        let cfg = SglConfig::default()
+            .with_r(r)
+            .with_tol(1e-7)
+            .with_max_iterations(80);
+        group.bench_function(BenchmarkId::new("r", r), |b| {
+            b.iter(|| Sgl::new(cfg.clone()).learn(&meas).unwrap())
+        });
+    }
+    for (label, beta) in [("1e-3", 1e-3), ("1e-2", 1e-2), ("1", 1.0)] {
+        let cfg = SglConfig::default()
+            .with_beta(beta)
+            .with_tol(1e-7)
+            .with_max_iterations(200);
+        group.bench_function(BenchmarkId::new("beta", label), |b| {
+            b.iter(|| Sgl::new(cfg.clone()).learn(&meas).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_iteration_parts, bench_knob_ablation
+}
+criterion_main!(benches);

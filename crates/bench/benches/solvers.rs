@@ -1,0 +1,99 @@
+//! Ablation bench: Laplacian solver backends on the two graph classes SGL
+//! actually solves on — mesh-like originals and near-tree learned graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_graph::mst::maximum_spanning_tree;
+use sgl_graph::Graph;
+use sgl_linalg::{vecops, Rng};
+use sgl_solver::{LaplacianSolver, SolverMethod, SolverOptions, TreeSolver};
+
+fn rhs(n: usize) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(1);
+    let mut b = rng.normal_vec(n);
+    vecops::project_out_mean(&mut b);
+    b
+}
+
+/// A near-tree graph: MST of a mesh plus 2% extra edges (what SGL learns).
+fn near_tree(side: usize) -> Graph {
+    let mesh = sgl_datasets::grid2d(side, side);
+    let t = maximum_spanning_tree(&mesh);
+    let mut g = t.to_graph(&mesh);
+    for (count, &i) in t.off_tree_edges().iter().enumerate() {
+        if count % 50 == 0 {
+            let e = mesh.edge(i);
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    g
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian_solve_mesh");
+    for side in [32usize, 64] {
+        let g = sgl_datasets::grid2d(side, side);
+        let b = rhs(g.num_nodes());
+        for method in [
+            SolverMethod::TreePcg,
+            SolverMethod::AmgPcg,
+            SolverMethod::JacobiPcg,
+        ] {
+            let solver = LaplacianSolver::new(
+                &g,
+                SolverOptions {
+                    method,
+                    ..SolverOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), side * side),
+                &b,
+                |bench, b| bench.iter(|| solver.solve(b).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("laplacian_solve_near_tree");
+    for side in [32usize, 64] {
+        let g = near_tree(side);
+        let b = rhs(g.num_nodes());
+        for method in [SolverMethod::TreePcg, SolverMethod::AmgPcg] {
+            let solver = LaplacianSolver::new(
+                &g,
+                SolverOptions {
+                    method,
+                    ..SolverOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), side * side),
+                &b,
+                |bench, b| bench.iter(|| solver.solve(b).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    // Exact O(N) tree solves as the reference floor.
+    let mut group = c.benchmark_group("tree_direct_solve");
+    for side in [32usize, 64, 128] {
+        let mesh = sgl_datasets::grid2d(side, side);
+        let tree = maximum_spanning_tree(&mesh).to_graph(&mesh);
+        let solver = TreeSolver::new(&tree);
+        let b = rhs(tree.num_nodes());
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &b, |bench, b| {
+            bench.iter(|| solver.solve(b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Figure 2: graphical-Lasso objective (eq. 2) vs SGL iteration on the
+//! "fe_4elt2" graph, against the scaled 5NN baseline.
+//!
+//! The paper's SGL run converges in ~90 iterations and ends at a higher
+//! objective value than the 5NN graph, at roughly a third of its density.
+//!
+//! Usage: `fig02_objective [--scale 0.3] [--m 50] [--stride 5] [--quick]`
+
+use sgl_baseline::knn_baseline;
+use sgl_bench::{banner, fix, Args, Table};
+use sgl_core::{objective, Measurements, ObjectiveOptions, Sgl, SglConfig};
+use sgl_datasets::TestCase;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", if args.has("quick") { 0.04 } else { 0.3 });
+    let m: usize = args.get("m", 50);
+    let stride: usize = args.get("stride", 5);
+    let truth = TestCase::Fe4elt2.generate_scaled(scale, 11);
+    banner(
+        "Figure 2",
+        "objective value vs iteration, SGL vs 5NN (fe_4elt2)",
+        &[
+            ("|V|", truth.num_nodes().to_string()),
+            ("|E|", truth.num_edges().to_string()),
+            ("M", m.to_string()),
+            ("stride", stride.to_string()),
+        ],
+    );
+
+    let meas = Measurements::generate(&truth, m, 7).expect("measurements");
+    let config = SglConfig::default()
+        .with_tol(1e-12)
+        .with_max_iterations(200);
+    let result = Sgl::new(config).learn(&meas).expect("learning");
+    let (knn_scaled, _) = knn_baseline(&meas, 5).expect("5NN baseline");
+
+    // Protocol of Algorithm 1: densification runs on the kNN weights and
+    // Step 5 rescales once at the end; the iteration curve therefore
+    // tracks the *unscaled* iterates, and the endpoint comparison applies
+    // the same edge scaling to both SGL and 5NN (as the paper does).
+    let obj_opts = ObjectiveOptions::default();
+    // result.knn_graph keeps the raw eq.-15 weights; knn_baseline has
+    // already applied Step-5 scaling to its copy.
+    let f_knn_unscaled = objective(&result.knn_graph, &meas, &obj_opts).expect("kNN objective");
+    let f_knn_scaled = objective(&knn_scaled, &meas, &obj_opts).expect("kNN objective");
+
+    let mut table = Table::new(&["iteration", "objective_sgl", "objective_5nn", "density_sgl"]);
+    let last = result.trace.len() - 1;
+    for (i, rec) in result.trace.iter().enumerate() {
+        if i % stride != 0 && i != last {
+            continue;
+        }
+        let snap = result.graph_at_iteration(i);
+        let f = objective(&snap, &meas, &obj_opts).expect("snapshot objective");
+        table.row(&[
+            rec.iteration.to_string(),
+            fix(f.total, 3),
+            fix(f_knn_unscaled.total, 3),
+            fix(snap.num_edges() as f64 / truth.num_nodes() as f64, 4),
+        ]);
+    }
+    table.print();
+    let csv = table.write_csv("fig02_objective").expect("csv");
+
+    let f_sgl_scaled = objective(&result.graph, &meas, &obj_opts).expect("final objective");
+    let f_sgl_unscaled = objective(
+        &result.graph_at_iteration(result.trace.len() - 1),
+        &meas,
+        &obj_opts,
+    )
+    .expect("final objective");
+    println!();
+    println!(
+        "unscaled endpoint: F_SGL = {:.3} vs F_5NN = {:.3}  (paper: SGL ends above 5NN)",
+        f_sgl_unscaled.total, f_knn_unscaled.total
+    );
+    println!(
+        "after Step-5 scaling of both: F_SGL = {:.3} vs F_5NN = {:.3}",
+        f_sgl_scaled.total, f_knn_scaled.total
+    );
+    println!(
+        "densities: SGL {:.3} vs 5NN {:.3}  (paper: 1.09 vs 2.89)",
+        result.density(),
+        knn_scaled.density()
+    );
+    println!("iterations: {} (paper: ~90)", result.trace.len());
+    println!("series written to {}", csv.display());
+}

@@ -1,0 +1,13 @@
+//! Figure 4: learning the "airfoil" graph (|V| = 4,253, |E| = 12,289) —
+//! objective curve, spectral drawings, density 2.89 → ~1.04, eigenvalue
+//! scatter from 100 noiseless measurements.
+//!
+//! Usage: `fig04_airfoil [--scale 0.25] [--m 100] [--eigs 30] [--quick]`
+
+use sgl_bench::{case_report, Args};
+use sgl_datasets::TestCase;
+
+fn main() {
+    let args = Args::from_env();
+    case_report("Figure 4", TestCase::Airfoil, &args, 0.25);
+}

@@ -1,0 +1,13 @@
+//! Figure 5: learning the "crack" graph (|V| = 10,240, |E| = 30,380) —
+//! objective curve, spectral drawings, density 2.97 → ~1.03, eigenvalue
+//! scatter from 100 noiseless measurements.
+//!
+//! Usage: `fig05_crack [--scale 0.25] [--m 100] [--eigs 30] [--quick]`
+
+use sgl_bench::{case_report, Args};
+use sgl_datasets::TestCase;
+
+fn main() {
+    let args = Args::from_env();
+    case_report("Figure 5", TestCase::Crack, &args, 0.25);
+}

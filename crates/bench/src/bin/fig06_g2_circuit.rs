@@ -1,0 +1,16 @@
+//! Figure 6: learning the "G2_circuit" graph (|V| = 150,102,
+//! |E| = 288,286) — objective curve and eigenvalue scatter from 100
+//! noiseless measurements.
+//!
+//! The default scale is reduced (the brute-force kNN path is quadratic);
+//! pass a larger `--scale` to approach the paper size.
+//!
+//! Usage: `fig06_g2_circuit [--scale 0.05] [--m 100] [--eigs 30] [--quick]`
+
+use sgl_bench::{case_report, Args};
+use sgl_datasets::TestCase;
+
+fn main() {
+    let args = Args::from_env();
+    case_report("Figure 6", TestCase::G2Circuit, &args, 0.04);
+}

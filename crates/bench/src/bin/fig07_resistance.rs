@@ -1,0 +1,89 @@
+//! Figure 7: effective-resistance correlation scatter plots — exact
+//! pairwise resistances on the original graph vs the SGL-learned graph
+//! for "2D mesh", "airfoil", "fe_4elt2" and "crack".
+//!
+//! The paper reports highly correlated scatters for all four cases.
+//!
+//! Pass `--refine` to additionally report the correlation after the
+//! (beyond-paper) sketch-based edge-weight refinement pass.
+//!
+//! Usage: `fig07_resistance [--scale 0.15] [--m 100] [--pairs 300] [--refine] [--quick]`
+
+use sgl_bench::{banner, fix, Args, Table};
+use sgl_core::{
+    pairwise_effective_resistances, refine_weights, sample_node_pairs, spectral_edge_scaling,
+    Measurements, RefineOptions, Sgl, SglConfig,
+};
+use sgl_datasets::TestCase;
+use sgl_linalg::vecops::pearson;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", if args.has("quick") { 0.03 } else { 0.15 });
+    let m: usize = args.get("m", 100);
+    let num_pairs: usize = args.get("pairs", 300);
+    banner(
+        "Figure 7",
+        "effective-resistance correlations (original vs learned)",
+        &[
+            ("scale", scale.to_string()),
+            ("M", m.to_string()),
+            ("pairs", num_pairs.to_string()),
+        ],
+    );
+
+    let cases = [
+        TestCase::Mesh2d,
+        TestCase::Airfoil,
+        TestCase::Fe4elt2,
+        TestCase::Crack,
+    ];
+    let refine = args.has("refine");
+    let mut headers = vec!["case", "|V|", "density_learned", "corr_coef"];
+    if refine {
+        headers.push("corr_refined");
+    }
+    let mut summary = Table::new(&headers);
+    for case in cases {
+        let truth = case.generate_scaled(scale, 11);
+        let meas = Measurements::generate(&truth, m, 7).expect("measurements");
+        let result = Sgl::new(SglConfig::default().with_tol(1e-12).with_max_iterations(200))
+            .learn(&meas)
+            .expect("learning");
+        let pairs = sample_node_pairs(truth.num_nodes(), num_pairs, 13);
+        let orig = pairwise_effective_resistances(&truth, &pairs).expect("original ER");
+        let learned = pairwise_effective_resistances(&result.graph, &pairs).expect("learned ER");
+        let corr = pearson(&orig, &learned);
+
+        // Scatter CSV per case.
+        let mut scatter = Table::new(&["r_original", "r_learned"]);
+        for (a, b) in orig.iter().zip(&learned) {
+            scatter.row(&[format!("{a:.8e}"), format!("{b:.8e}")]);
+        }
+        let tag = case.name().replace(' ', "_");
+        let csv = scatter
+            .write_csv(&format!("fig07_resistance_{tag}"))
+            .expect("csv");
+        println!("{case}: corr = {corr:.4}  scatter -> {}", csv.display());
+
+        let mut row = vec![
+            case.name().to_string(),
+            truth.num_nodes().to_string(),
+            fix(result.density(), 3),
+            fix(corr, 4),
+        ];
+        if refine {
+            let mut refined = result.graph.clone();
+            refine_weights(&mut refined, &meas, &RefineOptions::default()).expect("refine");
+            spectral_edge_scaling(&mut refined, &meas).expect("rescale");
+            let r_ref = pairwise_effective_resistances(&refined, &pairs).expect("refined ER");
+            row.push(fix(pearson(&orig, &r_ref), 4));
+        }
+        summary.row(&row);
+    }
+    println!();
+    summary.print();
+    let _ = summary.write_csv("fig07_summary");
+    println!();
+    println!("paper: scatters hug the diagonal for all four cases");
+}

@@ -1,0 +1,15 @@
+//! Baselines the SGL paper compares against (or declines to, for cost):
+//!
+//! * [`knn_baseline`] — the paper's actual comparison: the raw kNN graph
+//!   with the same spectral edge scaling applied (Figs. 2–3);
+//! * [`dense_gsp`] — a small dense projected-gradient estimator of the
+//!   graphical-Lasso objective (2), standing in for the CVX-based
+//!   state-of-the-art [2, 5] that the paper reports as needing thousands
+//!   of seconds even at `|V| = 4,253`. It is `O(N³)` per iteration and is
+//!   used only to validate SGL's solution quality on small instances.
+
+pub mod dense_gsp;
+pub mod knn_baseline;
+
+pub use dense_gsp::{DenseGspEstimator, DenseGspOptions};
+pub use knn_baseline::knn_baseline;

@@ -1,0 +1,359 @@
+//! Algorithm 1: the SGL spectral graph densification loop.
+//!
+//! ```text
+//! 1. build kNN graph G_o over the voltage rows of X
+//! 2. extract its maximum spanning tree T; G ← T
+//! 3. while s_max ≥ tol:
+//!      compute U_r for G                 (Step 2, spectral embedding)
+//!      score off-tree candidates         (Step 3, eq. 13)
+//!      add the top ⌈Nβ⌉ with s > tol     (densification)
+//! 4. spectral edge scaling with X, Y     (Step 5, eqs. 21–23)
+//! ```
+
+use crate::config::SglConfig;
+use crate::embedding::{spectral_embedding, spectral_embedding_warm, Embedding, EmbeddingOptions};
+use crate::error::SglError;
+use crate::measure::Measurements;
+use crate::scaling::spectral_edge_scaling;
+use crate::sensitivity::CandidatePool;
+use sgl_graph::mst::maximum_spanning_tree;
+use sgl_graph::Graph;
+use sgl_knn::{build_knn_graph, KnnGraphConfig};
+
+/// Per-iteration convergence record (the series behind Figs. 1, 2, 4–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Maximum edge sensitivity observed this iteration.
+    pub smax: f64,
+    /// Edges added this iteration.
+    pub edges_added: usize,
+    /// Total edges in the learned graph after this iteration.
+    pub total_edges: usize,
+    /// Smallest nontrivial eigenvalue of the current graph (algebraic
+    /// connectivity), a cheap health indicator of the densification.
+    pub lambda2: f64,
+}
+
+/// The outcome of a learning run.
+#[derive(Debug, Clone)]
+pub struct LearnResult {
+    /// The learned resistor network.
+    pub graph: Graph,
+    /// The kNN graph of Step 1 (candidate source).
+    pub knn_graph: Graph,
+    /// Per-iteration convergence trace.
+    pub trace: Vec<IterationRecord>,
+    /// Whether `s_max < tol` was reached (vs. hitting the iteration cap
+    /// or exhausting candidates).
+    pub converged: bool,
+    /// Edge-scaling factor applied in Step 5 (`None` if skipped).
+    pub scale_factor: Option<f64>,
+    /// The final spectral embedding of the learned graph.
+    pub embedding: Embedding,
+}
+
+impl LearnResult {
+    /// Density `|E|/|V|` of the learned graph.
+    pub fn density(&self) -> f64 {
+        self.graph.density()
+    }
+
+    /// Final maximum sensitivity (from the last trace record).
+    pub fn final_smax(&self) -> Option<f64> {
+        self.trace.last().map(|r| r.smax)
+    }
+
+    /// Reconstruct the (unscaled) learned graph as it stood after trace
+    /// entry `index` — edges are appended in insertion order, so a prefix
+    /// of the final edge list is exactly the iteration snapshot. Used to
+    /// replay objective-vs-iteration curves (Figs. 2, 4–6).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range of the trace.
+    pub fn graph_at_iteration(&self, index: usize) -> Graph {
+        let record = &self.trace[index];
+        let mut g = self
+            .graph
+            .edge_subgraph(&(0..record.total_edges).collect::<Vec<_>>());
+        if let Some(f) = self.scale_factor {
+            // The final graph is scaled; undo it for the snapshot.
+            g.scale_weights(1.0 / f);
+        }
+        g
+    }
+}
+
+/// The SGL learner.
+///
+/// # Example
+/// ```
+/// use sgl_core::{Measurements, Sgl, SglConfig};
+///
+/// let truth = sgl_datasets::grid2d(8, 8);
+/// let meas = Measurements::generate(&truth, 16, 7)?;
+/// let result = Sgl::new(SglConfig::default().with_tol(1e-4)).learn(&meas)?;
+/// assert!(result.graph.num_edges() >= truth.num_nodes() - 1);
+/// # Ok::<(), sgl_core::SglError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgl {
+    config: SglConfig,
+}
+
+impl Sgl {
+    /// Create a learner with the given configuration.
+    pub fn new(config: SglConfig) -> Self {
+        Sgl { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SglConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline on a measurement set.
+    ///
+    /// # Errors
+    /// Returns configuration/measurement validation errors and propagates
+    /// numerical failures from the embedded solvers.
+    pub fn learn(&self, measurements: &Measurements) -> Result<LearnResult, SglError> {
+        self.config.validate()?;
+        let n = measurements.num_nodes();
+        if n < 4 {
+            return Err(SglError::InvalidMeasurements(
+                "need at least 4 nodes to learn a graph".into(),
+            ));
+        }
+        // Step 1: connected kNN graph over measurement rows.
+        let knn_cfg = KnnGraphConfig {
+            k: self.config.k,
+            ..self.config.knn.clone()
+        };
+        let knn_graph = build_knn_graph(measurements.voltages(), &knn_cfg);
+        self.learn_from_knn(measurements, knn_graph)
+    }
+
+    /// Run Steps 2–5 on a caller-provided candidate graph (must span all
+    /// measurement nodes and be connected). Useful when a domain-specific
+    /// similarity graph replaces the kNN construction.
+    ///
+    /// # Errors
+    /// See [`Sgl::learn`].
+    pub fn learn_from_knn(
+        &self,
+        measurements: &Measurements,
+        knn_graph: Graph,
+    ) -> Result<LearnResult, SglError> {
+        self.config.validate()?;
+        let n = measurements.num_nodes();
+        if knn_graph.num_nodes() != n {
+            return Err(SglError::InvalidGraph(format!(
+                "candidate graph has {} nodes, measurements have {n}",
+                knn_graph.num_nodes()
+            )));
+        }
+        if !sgl_graph::traversal::is_connected(&knn_graph) {
+            return Err(SglError::InvalidGraph(
+                "candidate graph must be connected".into(),
+            ));
+        }
+        let width = (self.config.r - 1).min(n.saturating_sub(2)).max(1);
+        let emb_opts = EmbeddingOptions {
+            tol: self.config.eig_tol,
+            max_iter: self.config.eig_max_iter,
+            seed: self.config.seed,
+        };
+        let shift = self.config.shift();
+
+        // Step 1b: maximum spanning tree as the initial graph.
+        let tree = maximum_spanning_tree(&knn_graph);
+        let mut graph = tree.to_graph(&knn_graph);
+        let mut pool = CandidatePool::from_off_tree(&knn_graph, &tree, measurements);
+
+        let per_iter = ((n as f64) * self.config.beta).ceil() as usize;
+        let per_iter = per_iter.max(1);
+
+        let mut trace = Vec::new();
+        let mut converged = false;
+        let mut embedding = spectral_embedding(&graph, width, shift, &emb_opts)?;
+        for iteration in 1..=self.config.max_iterations {
+            if pool.is_empty() {
+                converged = trace.last().map(|r: &IterationRecord| r.smax).unwrap_or(0.0)
+                    < self.config.tol;
+                break;
+            }
+            // Steps 2–3: embed and score.
+            let sens = pool.sensitivities(&embedding);
+            let smax = sens
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            // Step 4: convergence check.
+            if smax < self.config.tol {
+                trace.push(IterationRecord {
+                    iteration,
+                    smax,
+                    edges_added: 0,
+                    total_edges: graph.num_edges(),
+                    lambda2: embedding.eigenvalues.first().copied().unwrap_or(0.0),
+                });
+                converged = true;
+                break;
+            }
+            let picked = pool.select_top(&sens, per_iter, self.config.tol);
+            let added = picked.len();
+            for c in picked {
+                graph.add_edge(c.u, c.v, c.weight);
+            }
+            trace.push(IterationRecord {
+                iteration,
+                smax,
+                edges_added: added,
+                total_edges: graph.num_edges(),
+                lambda2: embedding.eigenvalues.first().copied().unwrap_or(0.0),
+            });
+            if added == 0 {
+                // smax ≥ tol but nothing selectable: numerical corner,
+                // treat as converged to avoid spinning.
+                converged = true;
+                break;
+            }
+            // Warm-start from the previous iteration's eigenvectors: only
+            // ~⌈Nβ⌉ edges changed, so the old block is nearly invariant.
+            embedding =
+                spectral_embedding_warm(&graph, width, shift, &emb_opts, Some(&embedding.coords))?;
+        }
+
+        // Step 5: spectral edge scaling (when currents are available).
+        let scale_factor = if self.config.scale_edges && measurements.currents().is_some() {
+            Some(spectral_edge_scaling(&mut graph, measurements)?)
+        } else {
+            None
+        };
+
+        Ok(LearnResult {
+            graph,
+            knn_graph,
+            trace,
+            converged,
+            scale_factor,
+            embedding,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{smallest_nonzero_eigenvalues, SpectrumMethod};
+    use sgl_datasets::grid2d;
+    use sgl_linalg::vecops;
+
+    fn quick_config() -> SglConfig {
+        SglConfig::default()
+            .with_tol(1e-6)
+            .with_max_iterations(100)
+    }
+
+    #[test]
+    fn learns_connected_ultra_sparse_graph() {
+        let truth = grid2d(10, 10);
+        let meas = Measurements::generate(&truth, 25, 1).unwrap();
+        let result = Sgl::new(quick_config()).learn(&meas).unwrap();
+        assert!(sgl_graph::traversal::is_connected(&result.graph));
+        // Ultra-sparse: density near a spanning tree, far below the kNN
+        // graph's.
+        assert!(result.density() < 1.6, "density {}", result.density());
+        assert!(result.density() >= (100.0 - 1.0) / 100.0);
+        assert!(result.knn_graph.density() > result.density());
+        assert!(result.scale_factor.is_some());
+    }
+
+    #[test]
+    fn smax_trend_is_downward() {
+        let truth = grid2d(9, 9);
+        let meas = Measurements::generate(&truth, 25, 2).unwrap();
+        let result = Sgl::new(quick_config()).learn(&meas).unwrap();
+        assert!(result.trace.len() >= 3, "expected several iterations");
+        let first = result.trace.first().unwrap().smax;
+        let last = result.trace.last().unwrap().smax;
+        assert!(
+            last < first,
+            "smax should decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn learned_graph_preserves_low_spectrum() {
+        let truth = grid2d(8, 8);
+        let meas = Measurements::generate(&truth, 30, 3).unwrap();
+        let result = Sgl::new(quick_config()).learn(&meas).unwrap();
+        let ref_eigs =
+            smallest_nonzero_eigenvalues(&truth, 6, SpectrumMethod::ShiftInvert).unwrap();
+        let got_eigs =
+            smallest_nonzero_eigenvalues(&result.graph, 6, SpectrumMethod::ShiftInvert).unwrap();
+        let corr = vecops::pearson(&ref_eigs, &got_eigs);
+        assert!(corr > 0.9, "spectral correlation too low: {corr}");
+    }
+
+    #[test]
+    fn voltage_only_learning_skips_scaling() {
+        let truth = grid2d(7, 7);
+        let meas = Measurements::generate(&truth, 20, 4).unwrap();
+        let volts = Measurements::from_voltages(meas.voltages().clone()).unwrap();
+        let result = Sgl::new(quick_config()).learn(&volts).unwrap();
+        assert!(result.scale_factor.is_none());
+        assert!(sgl_graph::traversal::is_connected(&result.graph));
+    }
+
+    #[test]
+    fn trace_edges_are_monotone() {
+        let truth = grid2d(8, 8);
+        let meas = Measurements::generate(&truth, 20, 5).unwrap();
+        let result = Sgl::new(quick_config()).learn(&meas).unwrap();
+        for w in result.trace.windows(2) {
+            assert!(w[1].total_edges >= w[0].total_edges);
+            assert_eq!(w[1].iteration, w[0].iteration + 1);
+        }
+    }
+
+    #[test]
+    fn tiny_measurement_set_is_rejected() {
+        let truth = grid2d(2, 2);
+        // 4 nodes is the bare minimum; 3 rows must fail.
+        let meas = Measurements::generate(&truth, 3, 6).unwrap();
+        let small = meas.subset_rows(&[0, 1, 2]);
+        assert!(Sgl::new(quick_config()).learn(&small).is_err());
+    }
+
+    #[test]
+    fn iteration_snapshots_are_prefixes() {
+        let truth = grid2d(8, 8);
+        let meas = Measurements::generate(&truth, 20, 8).unwrap();
+        let result = Sgl::new(quick_config()).learn(&meas).unwrap();
+        assert!(!result.trace.is_empty());
+        for (i, rec) in result.trace.iter().enumerate() {
+            let snap = result.graph_at_iteration(i);
+            assert_eq!(snap.num_edges(), rec.total_edges);
+            // Every snapshot contains the spanning tree (still connected).
+            assert!(sgl_graph::traversal::is_connected(&snap));
+        }
+        // Last snapshot equals the final graph modulo the scale factor.
+        let last = result.graph_at_iteration(result.trace.len() - 1);
+        let f = result.scale_factor.unwrap();
+        for (a, b) in last.edges().iter().zip(result.graph.edges()) {
+            assert!((a.weight * f - b.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_one_converges_in_fewer_iterations() {
+        let truth = grid2d(8, 8);
+        let meas = Measurements::generate(&truth, 20, 7).unwrap();
+        let slow = Sgl::new(quick_config().with_beta(1e-3)).learn(&meas).unwrap();
+        let fast = Sgl::new(quick_config().with_beta(1.0)).learn(&meas).unwrap();
+        assert!(fast.trace.len() <= slow.trace.len());
+    }
+}

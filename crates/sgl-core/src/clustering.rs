@@ -1,0 +1,204 @@
+//! Spectral clustering (k-means++ / Lloyd on the spectral embedding),
+//! used to color the paper's graph drawings (Figs. 4–6).
+
+use crate::embedding::{spectral_embedding, EmbeddingOptions};
+use crate::error::SglError;
+use sgl_graph::Graph;
+use sgl_linalg::{vecops, DenseMatrix, Rng};
+
+/// k-means result.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster label per row of the input.
+    pub labels: Vec<usize>,
+    /// Cluster centroids (`k × dim`).
+    pub centroids: DenseMatrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Lloyd's k-means with k-means++ seeding on the rows of `data`.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of rows.
+pub fn kmeans(data: &DenseMatrix, k: usize, seed: u64, max_iter: usize) -> KMeansResult {
+    let n = data.nrows();
+    let d = data.ncols();
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+
+    let mut rng = Rng::seed_from_u64(seed);
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data.row(rng.below(n)).to_vec());
+    let mut dist2 = vec![f64::INFINITY; n];
+    while centroids.len() < k {
+        let latest = centroids.last().expect("non-empty");
+        let mut total = 0.0;
+        for i in 0..n {
+            let dd = vecops::dist_sq(data.row(i), latest);
+            if dd < dist2[i] {
+                dist2[i] = dd;
+            }
+            total += dist2[i];
+        }
+        let next = if total <= 0.0 {
+            rng.below(n)
+        } else {
+            // Sample proportional to squared distance.
+            let mut target = rng.uniform() * total;
+            let mut pick = n - 1;
+            for (i, &dd) in dist2.iter().enumerate() {
+                target -= dd;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(data.row(next).to_vec());
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 1..=max_iter {
+        iterations = it;
+        // Assignment.
+        let mut changed = false;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, cen) in centroids.iter().enumerate() {
+                let dd = vecops::dist_sq(row, cen);
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            vecops::axpy(1.0, data.row(i), &mut sums[labels[i]]);
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for v in &mut sums[c] {
+                    *v /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = vecops::dist_sq(data.row(a), &centroids[labels[a]]);
+                        let db = vecops::dist_sq(data.row(b), &centroids[labels[b]]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap_or(0);
+                centroids[c] = data.row(far).to_vec();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = (0..n)
+        .map(|i| vecops::dist_sq(data.row(i), &centroids[labels[i]]))
+        .sum();
+    KMeansResult {
+        labels,
+        centroids: DenseMatrix::from_rows(&centroids),
+        inertia,
+        iterations,
+    }
+}
+
+/// Spectral clustering: embed with `k` nontrivial eigenvectors (unscaled
+/// shift) and run k-means on the node coordinates.
+///
+/// # Errors
+/// Propagates embedding failures.
+pub fn spectral_clustering(graph: &Graph, k: usize, seed: u64) -> Result<Vec<usize>, SglError> {
+    let width = k.max(2).min(graph.num_nodes().saturating_sub(2));
+    let emb = spectral_embedding(graph, width, 0.0, &EmbeddingOptions::default())?;
+    Ok(kmeans(&emb.coords, k, seed, 100).labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data(per: usize) -> DenseMatrix {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        for _ in 0..per {
+            rows.push(vec![rng.standard_normal() * 0.1, rng.standard_normal() * 0.1]);
+        }
+        for _ in 0..per {
+            rows.push(vec![
+                10.0 + rng.standard_normal() * 0.1,
+                10.0 + rng.standard_normal() * 0.1,
+            ]);
+        }
+        DenseMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blob_data(20);
+        let r = kmeans(&data, 2, 3, 100);
+        // All of the first blob shares a label, all of the second the other.
+        let first = r.labels[0];
+        assert!(r.labels[..20].iter().all(|&l| l == first));
+        assert!(r.labels[20..].iter().all(|&l| l != first));
+        assert!(r.inertia < 5.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = two_blob_data(3);
+        let r = kmeans(&data, 6, 5, 50);
+        assert!(r.inertia < 1e-20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blob_data(15);
+        let a = kmeans(&data, 2, 9, 100);
+        let b = kmeans(&data, 2, 9, 100);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn spectral_clustering_splits_barbell() {
+        // Two cliques joined by one edge: the canonical 2-cluster graph.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j, 1.0);
+                g.add_edge(i + 5, j + 5, 1.0);
+            }
+        }
+        g.add_edge(4, 5, 0.1);
+        let labels = spectral_clustering(&g, 2, 1).unwrap();
+        let first = labels[0];
+        assert!(labels[..5].iter().all(|&l| l == first));
+        assert!(labels[5..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_panics() {
+        kmeans(&two_blob_data(2), 0, 1, 10);
+    }
+}

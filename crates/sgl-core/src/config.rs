@@ -1,0 +1,204 @@
+//! SGL configuration (the inputs of Algorithm 1).
+
+use crate::error::SglError;
+use sgl_knn::KnnGraphConfig;
+
+/// Configuration for the SGL learner, mirroring Algorithm 1's inputs.
+///
+/// Defaults follow the paper's experimental setup (§III.A): `k = 5`,
+/// `r = 5`, `β = 10⁻³`, `tol = 10⁻¹²`, `σ² → ∞`.
+#[derive(Debug, Clone)]
+pub struct SglConfig {
+    /// `k` for the initial kNN graph.
+    pub k: usize,
+    /// `r` for the spectral projection matrix of eq. (12): `r − 1`
+    /// nontrivial eigenvectors are used.
+    pub r: usize,
+    /// Edge sampling ratio `β ∈ (0, 1]`: up to `⌈Nβ⌉` edges join per
+    /// iteration.
+    pub beta: f64,
+    /// Convergence tolerance on the maximum edge sensitivity.
+    pub tol: f64,
+    /// Prior feature variance `σ²` of eq. (2); `f64::INFINITY` reproduces
+    /// the paper's analysis limit (no diagonal shift).
+    pub sigma_sq: f64,
+    /// Iteration cap (a safety net; the paper's runs converge in ≤ ~100).
+    pub max_iterations: usize,
+    /// kNN construction settings (`k` here overrides the embedded value).
+    pub knn: KnnGraphConfig,
+    /// Residual tolerance for the embedding eigensolver.
+    pub eig_tol: f64,
+    /// Iteration cap for the embedding eigensolver.
+    pub eig_max_iter: usize,
+    /// Run the spectral edge scaling step (needs current measurements).
+    pub scale_edges: bool,
+    /// Seed for the eigensolver's random initial blocks.
+    pub seed: u64,
+}
+
+impl Default for SglConfig {
+    fn default() -> Self {
+        SglConfig {
+            k: 5,
+            r: 5,
+            beta: 1e-3,
+            tol: 1e-12,
+            sigma_sq: f64::INFINITY,
+            max_iterations: 500,
+            knn: KnnGraphConfig::default(),
+            eig_tol: 1e-7,
+            eig_max_iter: 400,
+            scale_edges: true,
+            seed: 0x5617,
+        }
+    }
+}
+
+impl SglConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SglError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SglError> {
+        if self.k == 0 {
+            return Err(SglError::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.r < 2 {
+            return Err(SglError::InvalidConfig(
+                "r must be at least 2 (one nontrivial eigenvector)".into(),
+            ));
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(SglError::InvalidConfig(format!(
+                "beta must lie in (0, 1], got {}",
+                self.beta
+            )));
+        }
+        if !self.tol.is_finite() || self.tol < 0.0 {
+            return Err(SglError::InvalidConfig(format!(
+                "tol must be finite and non-negative, got {}",
+                self.tol
+            )));
+        }
+        if self.sigma_sq <= 0.0 {
+            return Err(SglError::InvalidConfig(format!(
+                "sigma_sq must be positive (possibly infinite), got {}",
+                self.sigma_sq
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(SglError::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The diagonal shift `1/σ²` used in the embedding scaling (0 when
+    /// `σ² = ∞`).
+    pub fn shift(&self) -> f64 {
+        if self.sigma_sq.is_infinite() {
+            0.0
+        } else {
+            1.0 / self.sigma_sq
+        }
+    }
+
+    /// Builder-style setter for `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style setter for `r`.
+    pub fn with_r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Builder-style setter for `beta`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Builder-style setter for `tol`.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Builder-style setter for the iteration cap.
+    pub fn with_max_iterations(mut self, it: usize) -> Self {
+        self.max_iterations = it;
+        self
+    }
+
+    /// Builder-style setter for edge scaling.
+    pub fn with_scale_edges(mut self, on: bool) -> Self {
+        self.scale_edges = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SglConfig::default();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.r, 5);
+        assert_eq!(c.beta, 1e-3);
+        assert_eq!(c.tol, 1e-12);
+        assert!(c.sigma_sq.is_infinite());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn shift_is_zero_for_infinite_sigma() {
+        assert_eq!(SglConfig::default().shift(), 0.0);
+        let c = SglConfig {
+            sigma_sq: 4.0,
+            ..SglConfig::default()
+        };
+        assert_eq!(c.shift(), 0.25);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SglConfig::default().with_r(1).validate().is_err());
+        assert!(SglConfig::default().with_beta(0.0).validate().is_err());
+        assert!(SglConfig::default().with_beta(1.5).validate().is_err());
+        assert!(SglConfig::default().with_tol(f64::NAN).validate().is_err());
+        let c = SglConfig {
+            k: 0,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SglConfig {
+            sigma_sq: -1.0,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SglConfig::default()
+            .with_k(7)
+            .with_r(4)
+            .with_beta(0.01)
+            .with_tol(1e-9)
+            .with_max_iterations(10)
+            .with_scale_edges(false);
+        assert_eq!(c.k, 7);
+        assert_eq!(c.r, 4);
+        assert_eq!(c.beta, 0.01);
+        assert_eq!(c.tol, 1e-9);
+        assert_eq!(c.max_iterations, 10);
+        assert!(!c.scale_edges);
+    }
+}

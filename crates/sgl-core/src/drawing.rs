@@ -1,0 +1,105 @@
+//! Spectral graph drawing (Koren-style): node `u` is placed at
+//! `(u_2[u], u_3[u])`, the entries of the first two nontrivial Laplacian
+//! eigenvectors — exactly how the paper renders its learned graphs.
+
+use crate::embedding::{spectral_embedding, EmbeddingOptions};
+use crate::error::SglError;
+use sgl_graph::Graph;
+
+/// A 2-D spectral layout.
+#[derive(Debug, Clone)]
+pub struct SpectralLayout {
+    /// `(x, y)` per node: entries of `u_2` and `u_3`.
+    pub coordinates: Vec<(f64, f64)>,
+    /// The two eigenvalues `(λ_2, λ_3)`.
+    pub eigenvalues: (f64, f64),
+}
+
+impl SpectralLayout {
+    /// Write the layout (and optional cluster labels) as CSV:
+    /// `node,x,y[,cluster]`.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn write_csv<W: std::io::Write>(
+        &self,
+        mut w: W,
+        labels: Option<&[usize]>,
+    ) -> std::io::Result<()> {
+        if labels.is_some() {
+            writeln!(w, "node,x,y,cluster")?;
+        } else {
+            writeln!(w, "node,x,y")?;
+        }
+        for (i, &(x, y)) in self.coordinates.iter().enumerate() {
+            match labels {
+                Some(l) => writeln!(w, "{i},{x:.8e},{y:.8e},{}", l[i])?,
+                None => writeln!(w, "{i},{x:.8e},{y:.8e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compute the spectral layout of a connected graph.
+///
+/// # Errors
+/// Propagates embedding failures (needs ≥ 4 nodes).
+pub fn spectral_layout(graph: &Graph) -> Result<SpectralLayout, SglError> {
+    // Unscaled eigenvectors: shift 0 would scale by 1/√λ, which distorts
+    // the classical drawing; recover u_2, u_3 by undoing the scaling.
+    let emb = spectral_embedding(graph, 2, 0.0, &EmbeddingOptions::default())?;
+    let l2 = emb.eigenvalues[0];
+    let l3 = emb.eigenvalues[1];
+    let coordinates = (0..graph.num_nodes())
+        .map(|u| {
+            let row = emb.coords.row(u);
+            (row[0] * l2.sqrt(), row[1] * l3.sqrt())
+        })
+        .collect();
+    Ok(SpectralLayout {
+        coordinates,
+        eigenvalues: (l2, l3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_datasets::grid2d;
+
+    #[test]
+    fn layout_has_unit_norm_coordinates() {
+        let g = grid2d(6, 6);
+        let l = spectral_layout(&g).unwrap();
+        assert_eq!(l.coordinates.len(), 36);
+        let nx: f64 = l.coordinates.iter().map(|&(x, _)| x * x).sum();
+        let ny: f64 = l.coordinates.iter().map(|&(_, y)| y * y).sum();
+        assert!((nx - 1.0).abs() < 1e-4, "x not unit: {nx}");
+        assert!((ny - 1.0).abs() < 1e-4, "y not unit: {ny}");
+    }
+
+    #[test]
+    fn path_layout_orders_nodes_along_x() {
+        let n = 20;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)));
+        let l = spectral_layout(&g).unwrap();
+        // u_2 of a path is monotone (a cosine ramp): x coordinates are
+        // sorted one way or the other.
+        let xs: Vec<f64> = l.coordinates.iter().map(|&(x, _)| x).collect();
+        let inc = xs.windows(2).all(|w| w[0] <= w[1] + 1e-9);
+        let dec = xs.windows(2).all(|w| w[0] >= w[1] - 1e-9);
+        assert!(inc || dec, "path layout not monotone");
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let g = grid2d(3, 3);
+        let l = spectral_layout(&g).unwrap();
+        let mut buf = Vec::new();
+        l.write_csv(&mut buf, Some(&vec![0; 9])).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("node,x,y,cluster"));
+        assert_eq!(s.lines().count(), 10);
+    }
+}

@@ -1,0 +1,342 @@
+//! Step 2 of Algorithm 1: spectral graph embedding.
+//!
+//! The projection matrix of eq. (12) uses the first `r − 1` nontrivial
+//! Laplacian eigenpairs, each eigenvector scaled by `1/√(λ + 1/σ²)`:
+//! squared row distances of the embedding are then exactly the truncated
+//! effective-resistance estimates `z^emb` of eq. (13). Eigenpairs are
+//! computed by deflated LOBPCG preconditioned with an aggregation-AMG
+//! V-cycle and warm-started from the previous iteration's block, which
+//! keeps every SGL iteration nearly linear. (A spanning-tree
+//! preconditioner is *not* used here: SGL adds precisely the
+//! highest-stretch off-tree edges, the worst case for tree support.)
+
+use crate::error::SglError;
+use sgl_graph::laplacian::LaplacianOp;
+use sgl_graph::Graph;
+use sgl_linalg::lanczos::{lanczos_largest, lanczos_smallest, LanczosOptions};
+use sgl_linalg::lobpcg::{lobpcg_with_guess, LobpcgOptions};
+use sgl_linalg::{vecops, DenseMatrix, FnOperator, ProjectedOperator};
+use sgl_solver::{AmgHierarchy, AmgOptions, LaplacianSolver, SolverOptions};
+
+/// A spectral embedding `U_r` (eq. 12): row `u` is node `u`'s coordinate.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// `N × (r−1)` coordinates, column `j` = `u_{j+2} / √(λ_{j+2} + 1/σ²)`.
+    pub coords: DenseMatrix,
+    /// The nontrivial eigenvalues `λ_2, …, λ_r` (ascending).
+    pub eigenvalues: Vec<f64>,
+    /// Eigensolver iterations spent.
+    pub solver_iterations: usize,
+}
+
+impl Embedding {
+    /// Squared embedding distance `z^emb_{s,t} = ‖U_r^T e_{s,t}‖²`.
+    pub fn distance_sq(&self, s: usize, t: usize) -> f64 {
+        vecops::dist_sq(self.coords.row(s), self.coords.row(t))
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.nrows()
+    }
+
+    /// Embedding width (`r − 1`).
+    pub fn width(&self) -> usize {
+        self.coords.ncols()
+    }
+}
+
+/// Options for [`spectral_embedding`].
+#[derive(Debug, Clone)]
+pub struct EmbeddingOptions {
+    /// Eigensolver residual tolerance.
+    pub tol: f64,
+    /// Eigensolver iteration cap.
+    pub max_iter: usize,
+    /// Seed for the random initial block.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingOptions {
+    fn default() -> Self {
+        EmbeddingOptions {
+            tol: 1e-7,
+            max_iter: 400,
+            seed: 0xE16,
+        }
+    }
+}
+
+/// Compute the `width = r − 1` dimensional spectral embedding of a
+/// connected graph with diagonal shift `1/σ² = shift`.
+///
+/// # Errors
+/// Returns [`SglError::InvalidGraph`] for empty/disconnected graphs and
+/// propagates eigensolver failures.
+pub fn spectral_embedding(
+    graph: &Graph,
+    width: usize,
+    shift: f64,
+    opts: &EmbeddingOptions,
+) -> Result<Embedding, SglError> {
+    spectral_embedding_warm(graph, width, shift, opts, None)
+}
+
+/// [`spectral_embedding`] seeded with a previous embedding's eigenvector
+/// block (per-column scaling is irrelevant — LOBPCG orthonormalizes).
+/// SGL's loop passes the previous iteration's embedding, which cuts the
+/// eigensolver down to a few steps because only ~`⌈Nβ⌉` edges changed.
+///
+/// # Errors
+/// See [`spectral_embedding`].
+pub fn spectral_embedding_warm(
+    graph: &Graph,
+    width: usize,
+    shift: f64,
+    opts: &EmbeddingOptions,
+    warm_start: Option<&DenseMatrix>,
+) -> Result<Embedding, SglError> {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return Err(SglError::InvalidGraph(
+            "embedding needs at least two nodes".into(),
+        ));
+    }
+    if width + 1 >= n {
+        return Err(SglError::InvalidGraph(format!(
+            "embedding width {width} too large for {n} nodes"
+        )));
+    }
+    if !sgl_graph::traversal::is_connected(graph) {
+        return Err(SglError::InvalidGraph(
+            "embedding requires a connected graph".into(),
+        ));
+    }
+    let op = LaplacianOp::new(graph);
+    let precond = AmgHierarchy::build(graph, &AmgOptions::default());
+    let ones = vec![1.0; n];
+    let res = match lobpcg_with_guess(
+        &op,
+        &precond,
+        width,
+        &[ones.clone()],
+        warm_start,
+        &LobpcgOptions {
+            tol: opts.tol,
+            max_iter: opts.max_iter,
+            extra_block: 3,
+            seed: opts.seed,
+        },
+    ) {
+        Ok(r) => r,
+        Err(sgl_linalg::LinalgError::NotConverged { .. }) => {
+            // Extreme weight spreads (e.g. very few measurements with
+            // near-duplicate rows) can stall LOBPCG; shift-invert Lanczos
+            // through a tree-preconditioned solve is far more robust for
+            // tightly clustered smallest eigenvalues.
+            shift_invert_fallback(graph, width, &ones, opts)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    // Scale columns by 1/sqrt(λ + shift).
+    let mut coords = res.vectors.clone();
+    for j in 0..width {
+        let denom = (res.values[j] + shift).max(f64::MIN_POSITIVE).sqrt();
+        let col = coords.column(j);
+        let scaled: Vec<f64> = col.iter().map(|v| v / denom).collect();
+        coords.set_column(j, &scaled);
+    }
+    Ok(Embedding {
+        coords,
+        eigenvalues: res.values,
+        solver_iterations: res.iterations,
+    })
+}
+
+/// Robust fallback for [`spectral_embedding`]: shift-invert Lanczos with
+/// the Laplacian applied through a fast solver.
+fn shift_invert_fallback(
+    graph: &Graph,
+    width: usize,
+    ones: &[f64],
+    opts: &EmbeddingOptions,
+) -> Result<sgl_linalg::LobpcgResult, SglError> {
+    let n = graph.num_nodes();
+    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+    let apply = FnOperator::new(n, move |x: &[f64], y: &mut [f64]| {
+        let sol = solver
+            .solve(x)
+            .expect("inner laplacian solve failed during embedding fallback");
+        y.copy_from_slice(&sol);
+    });
+    let projected = ProjectedOperator::new(apply);
+    let pairs = lanczos_largest(
+        &projected,
+        width,
+        &[ones.to_vec()],
+        &LanczosOptions {
+            tol: (opts.tol * 1e-2).max(1e-12),
+            max_subspace: (6 * width + 80).min(n - 1),
+            seed: opts.seed,
+        },
+    )?;
+    // θ ascending are the largest eigenvalues of L⁺; reverse to get the
+    // smallest eigenvalues of L ascending, with matching vectors.
+    let order: Vec<usize> = (0..width).rev().collect();
+    let values: Vec<f64> = order
+        .iter()
+        .map(|&i| 1.0 / pairs.values[i].max(f64::MIN_POSITIVE))
+        .collect();
+    let cols: Vec<Vec<f64>> = order.iter().map(|&i| pairs.vectors.column(i)).collect();
+    Ok(sgl_linalg::LobpcgResult {
+        values,
+        vectors: DenseMatrix::from_columns(&cols),
+        iterations: 0,
+        residuals: vec![0.0; width],
+    })
+}
+
+/// How to compute a batch of smallest nonzero Laplacian eigenvalues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectrumMethod {
+    /// Shift-invert Lanczos: each step applies `L⁺` through a fast solve.
+    /// Best for many eigenvalues of large graphs.
+    #[default]
+    ShiftInvert,
+    /// Plain Lanczos on `L` (adequate for small graphs / few values).
+    Direct,
+}
+
+/// First `k` nonzero Laplacian eigenvalues (ascending) of a connected
+/// graph — the quantities plotted in the paper's eigenvalue scatter plots
+/// and used by the objective evaluation.
+///
+/// # Errors
+/// Propagates eigensolver/solver failures; rejects `k ≥ N`.
+pub fn smallest_nonzero_eigenvalues(
+    graph: &Graph,
+    k: usize,
+    method: SpectrumMethod,
+) -> Result<Vec<f64>, SglError> {
+    let n = graph.num_nodes();
+    if k + 1 > n {
+        return Err(SglError::InvalidGraph(format!(
+            "requested {k} nonzero eigenvalues of a {n}-node graph"
+        )));
+    }
+    let ones = vec![1.0; n];
+    match method {
+        SpectrumMethod::Direct => {
+            let op = LaplacianOp::new(graph);
+            let pairs = lanczos_smallest(
+                &op,
+                k,
+                &[ones],
+                &LanczosOptions {
+                    tol: 1e-9,
+                    max_subspace: (4 * k + 60).min(n - 1),
+                    seed: 5,
+                },
+            )?;
+            Ok(pairs.values)
+        }
+        SpectrumMethod::ShiftInvert => {
+            let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+            let apply = FnOperator::new(n, move |x: &[f64], y: &mut [f64]| {
+                let sol = solver.solve(x).expect("inner laplacian solve failed");
+                y.copy_from_slice(&sol);
+            });
+            let projected = ProjectedOperator::new(apply);
+            let pairs = lanczos_largest(
+                &projected,
+                k,
+                &[ones],
+                &LanczosOptions {
+                    tol: 1e-8,
+                    max_subspace: (3 * k + 40).min(n - 1),
+                    seed: 5,
+                },
+            )?;
+            // θ are the largest eigenvalues of L⁺, ascending; invert and
+            // flip to get the smallest of L ascending.
+            let mut vals: Vec<f64> = pairs
+                .values
+                .iter()
+                .rev()
+                .map(|&t| 1.0 / t.max(f64::MIN_POSITIVE))
+                .collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Ok(vals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_datasets::grid2d;
+    use sgl_linalg::SymEig;
+
+    #[test]
+    fn embedding_matches_dense_eigenpairs() {
+        let g = grid2d(5, 4);
+        let emb = spectral_embedding(&g, 3, 0.0, &EmbeddingOptions::default()).unwrap();
+        let dense = SymEig::compute(&sgl_graph::laplacian::laplacian_csr(&g).to_dense()).unwrap();
+        for j in 0..3 {
+            assert!(
+                (emb.eigenvalues[j] - dense.values[j + 1]).abs() < 1e-5,
+                "eig {j}: {} vs {}",
+                emb.eigenvalues[j],
+                dense.values[j + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_distance_approximates_truncated_resistance() {
+        // On a path graph with r−1 = N−1 (full spectrum) the embedding
+        // distance IS the effective resistance. Use a small path.
+        let n = 8;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)));
+        let emb = spectral_embedding(&g, n - 2, 0.0, &EmbeddingOptions::default()).unwrap();
+        // R_eff(0, 1) on a unit path = 1 (series resistors elsewhere
+        // don't matter). Truncation at n-2 of n-1 eigenvectors loses a
+        // little, so check a generous lower bound and the exact cap.
+        let z = emb.distance_sq(0, 1);
+        assert!(z <= 1.0 + 1e-9, "z^emb must lower-bound R_eff, got {z}");
+        assert!(z > 0.8, "z^emb too small: {z}");
+    }
+
+    #[test]
+    fn eigenvalue_batches_agree_between_methods() {
+        let g = grid2d(7, 6);
+        let a = smallest_nonzero_eigenvalues(&g, 6, SpectrumMethod::Direct).unwrap();
+        let b = smallest_nonzero_eigenvalues(&g, 6, SpectrumMethod::ShiftInvert).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        // Against the dense reference.
+        let dense = SymEig::compute(&sgl_graph::laplacian::laplacian_csr(&g).to_dense()).unwrap();
+        for (j, x) in a.iter().enumerate() {
+            assert!((x - dense.values[j + 1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shift_changes_scaling_only() {
+        let g = grid2d(4, 4);
+        let a = spectral_embedding(&g, 2, 0.0, &EmbeddingOptions::default()).unwrap();
+        let b = spectral_embedding(&g, 2, 0.5, &EmbeddingOptions::default()).unwrap();
+        assert_eq!(a.eigenvalues.len(), b.eigenvalues.len());
+        // Shifted embedding is strictly shorter.
+        assert!(b.distance_sq(0, 15) < a.distance_sq(0, 15));
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(spectral_embedding(&g, 1, 0.0, &EmbeddingOptions::default()).is_err());
+    }
+
+    use sgl_graph::Graph;
+}

@@ -1,0 +1,64 @@
+//! Error type for the SGL pipeline.
+
+use sgl_linalg::LinalgError;
+use std::fmt;
+
+/// Error returned by SGL operations.
+#[derive(Debug)]
+pub enum SglError {
+    /// A numerical kernel failed (solver, eigensolver, factorization).
+    Linalg(LinalgError),
+    /// The configuration is inconsistent (e.g. `r < 2`, `beta ≤ 0`).
+    InvalidConfig(String),
+    /// The measurements are unusable (wrong shapes, too few samples).
+    InvalidMeasurements(String),
+    /// The graph is structurally unusable (disconnected, empty).
+    InvalidGraph(String),
+}
+
+impl fmt::Display for SglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SglError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            SglError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            SglError::InvalidMeasurements(m) => write!(f, "invalid measurements: {m}"),
+            SglError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SglError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SglError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SglError {
+    fn from(e: LinalgError) -> Self {
+        SglError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = SglError::InvalidConfig("r must be >= 2".into());
+        assert!(e.to_string().contains("r must be"));
+        let e: SglError = LinalgError::InvalidInput("x".into()).into();
+        assert!(e.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn source_is_chained_for_linalg() {
+        use std::error::Error;
+        let e: SglError = LinalgError::InvalidInput("y".into()).into();
+        assert!(e.source().is_some());
+        assert!(SglError::InvalidGraph("z".into()).source().is_none());
+    }
+}

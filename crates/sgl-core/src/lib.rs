@@ -1,0 +1,63 @@
+//! SGL: spectral graph learning of resistor networks from voltage and
+//! current measurements — the core algorithm of Feng, *"SGL: Spectral
+//! Graph Learning from Measurements"*, DAC 2021.
+//!
+//! Given `M` measurement pairs `(X, Y)` with `L* x_i = y_i` on an unknown
+//! `N`-node resistor network, [`Sgl`] recovers an ultra-sparse graph whose
+//! spectral-embedding (effective-resistance) distances encode the
+//! measurement distances — a scalable alternative to `O(N²)`-per-iteration
+//! graphical-Lasso solvers. The loop: kNN graph → maximum spanning tree →
+//! iteratively add the highest-sensitivity off-tree edges (first-order
+//! spectral perturbation, eq. 13) → spectral edge scaling.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sgl_core::{Measurements, Sgl, SglConfig};
+//!
+//! // Ground truth: an 8×8 resistor mesh. Measure it, then learn it back.
+//! let truth = sgl_datasets::grid2d(8, 8);
+//! let meas = Measurements::generate(&truth, 20, 42)?;
+//! let result = Sgl::new(SglConfig::default().with_tol(1e-5)).learn(&meas)?;
+//! assert!(result.graph.density() < 2.0); // ultra-sparse
+//! # Ok::<(), sgl_core::SglError>(())
+//! ```
+//!
+//! Beyond the learner itself the crate ships every instrument the paper's
+//! evaluation uses: the objective of eq. (2) ([`objective`]), effective
+//! resistances and their JL sketch ([`resistance`]), spectrum comparison
+//! ([`metrics`]), spectral drawing/clustering ([`drawing`],
+//! [`clustering`]), noisy measurements ([`Measurements::with_noise`]) and
+//! reduced-network learning ([`reduction`]).
+
+pub mod algorithm;
+pub mod clustering;
+pub mod config;
+pub mod drawing;
+pub mod embedding;
+pub mod error;
+pub mod measure;
+pub mod metrics;
+pub mod objective;
+pub mod reduction;
+pub mod refine;
+pub mod resistance;
+pub mod scaling;
+pub mod sensitivity;
+
+pub use algorithm::{IterationRecord, LearnResult, Sgl};
+pub use config::SglConfig;
+pub use embedding::{
+    smallest_nonzero_eigenvalues, spectral_embedding, Embedding, EmbeddingOptions, SpectrumMethod,
+};
+pub use error::SglError;
+pub use measure::Measurements;
+pub use metrics::{compare_spectra, SpectrumComparison};
+pub use objective::{objective, ObjectiveOptions, ObjectiveValue};
+pub use reduction::{learn_reduced, ReducedResult};
+pub use refine::{refine_weights, RefineOptions, RefineRecord};
+pub use resistance::{
+    effective_resistance, pairwise_effective_resistances, sample_node_pairs, ResistanceSketch,
+};
+pub use scaling::{edge_scale_factor, spectral_edge_scaling};
+pub use sensitivity::{Candidate, CandidatePool};

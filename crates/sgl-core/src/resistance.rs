@@ -1,0 +1,199 @@
+//! Effective resistance computation — exact (Laplacian solves) and
+//! sketched (the Spielman–Srivastava Johnson–Lindenstrauss projection the
+//! paper's sample-complexity analysis builds on).
+
+use crate::error::SglError;
+use sgl_graph::Graph;
+use sgl_linalg::{DenseMatrix, Rng};
+use sgl_solver::{LaplacianSolver, SolverOptions};
+
+/// Exact effective resistance between two nodes via one Laplacian solve:
+/// `R(s,t) = (e_s − e_t)ᵀ L⁺ (e_s − e_t)`.
+///
+/// # Errors
+/// Propagates solver failures.
+///
+/// # Panics
+/// Panics if `s == t` or either index is out of range.
+pub fn effective_resistance(
+    solver: &LaplacianSolver,
+    s: usize,
+    t: usize,
+) -> Result<f64, SglError> {
+    let n = solver.num_nodes();
+    assert!(s < n && t < n, "node index out of range");
+    assert_ne!(s, t, "effective resistance needs distinct nodes");
+    let mut b = vec![0.0; n];
+    b[s] = 1.0;
+    b[t] = -1.0;
+    let x = solver.solve(&b)?;
+    Ok(x[s] - x[t])
+}
+
+/// Exact effective resistances for a batch of node pairs (one solver
+/// setup, one solve per pair).
+///
+/// # Errors
+/// Propagates solver construction/solve failures.
+pub fn pairwise_effective_resistances(
+    graph: &Graph,
+    pairs: &[(usize, usize)],
+) -> Result<Vec<f64>, SglError> {
+    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+    pairs
+        .iter()
+        .map(|&(s, t)| effective_resistance(&solver, s, t))
+        .collect()
+}
+
+/// A JL sketch of the effective-resistance metric: `q` random projections
+/// of `W^{1/2} B L⁺`, so `R(s,t) ≈ ‖Z e_{s,t}‖²` for any pair in `O(q)`
+/// time after `q` solves of preprocessing.
+#[derive(Debug, Clone)]
+pub struct ResistanceSketch {
+    /// `q × N`, row i = zᵢᵀ with zᵢ = L⁺ Bᵀ W^{1/2} cᵢ.
+    rows: DenseMatrix,
+}
+
+impl ResistanceSketch {
+    /// Build a sketch with `q` projections.
+    ///
+    /// `q = O(log N / ε²)` yields `(1±ε)` estimates (eq. 18); in practice
+    /// `q ≈ 8 ln N` gives usable scatter plots.
+    ///
+    /// # Errors
+    /// Propagates solver failures; rejects `q == 0`.
+    pub fn build(graph: &Graph, q: usize, seed: u64) -> Result<Self, SglError> {
+        if q == 0 {
+            return Err(SglError::InvalidConfig(
+                "sketch needs at least one projection".into(),
+            ));
+        }
+        let n = graph.num_nodes();
+        let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+        let mut rng = Rng::seed_from_u64(seed);
+        let scale = 1.0 / (q as f64).sqrt();
+        let mut rows = DenseMatrix::zeros(q, n);
+        for i in 0..q {
+            // b = Bᵀ W^{1/2} c, assembled edge by edge with c ∈ {±1/√q}.
+            let mut b = vec![0.0; n];
+            for e in graph.edges() {
+                let c = rng.rademacher() * scale * e.weight.sqrt();
+                b[e.u] += c;
+                b[e.v] -= c;
+            }
+            let z = solver.solve(&b)?;
+            rows.row_mut(i).copy_from_slice(&z);
+        }
+        Ok(ResistanceSketch { rows })
+    }
+
+    /// Recommended projection count `⌈24 ln N / ε²⌉` (eq. 18).
+    pub fn recommended_projections(num_nodes: usize, epsilon: f64) -> usize {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        ((24.0 * (num_nodes.max(2) as f64).ln()) / (epsilon * epsilon)).ceil() as usize
+    }
+
+    /// Number of projections `q`.
+    pub fn num_projections(&self) -> usize {
+        self.rows.nrows()
+    }
+
+    /// Estimated effective resistance `‖Z e_{s,t}‖²`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn estimate(&self, s: usize, t: usize) -> f64 {
+        let q = self.rows.nrows();
+        let mut acc = 0.0;
+        for i in 0..q {
+            let r = self.rows.row(i);
+            let d = r[s] - r[t];
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Sample `count` distinct random node pairs (s ≠ t) for scatter plots.
+pub fn sample_node_pairs(num_nodes: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 50 {
+        guard += 1;
+        let s = rng.below(num_nodes);
+        let t = rng.below(num_nodes);
+        if s == t {
+            continue;
+        }
+        let key = if s < t { (s, t) } else { (t, s) };
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_datasets::grid2d;
+    use sgl_linalg::vecops;
+
+    #[test]
+    fn path_resistance_is_hop_count() {
+        let n = 10;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)));
+        let solver = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
+        for t in 1..n {
+            let r = effective_resistance(&solver, 0, t).unwrap();
+            assert!((r - t as f64).abs() < 1e-8, "R(0,{t}) = {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_resistors_combine() {
+        // Two nodes joined by conductances 1 and 3 in parallel → R = 1/4.
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 3.0); // merges to conductance 4
+        let solver = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
+        let r = effective_resistance(&solver, 0, 1).unwrap();
+        assert!((r - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sketch_approximates_exact() {
+        let g = grid2d(7, 7);
+        let pairs = sample_node_pairs(49, 30, 3);
+        let exact = pairwise_effective_resistances(&g, &pairs).unwrap();
+        let sketch = ResistanceSketch::build(&g, 600, 4).unwrap();
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let est = sketch.estimate(s, t);
+            let rel = (est - exact[k]).abs() / exact[k];
+            assert!(rel < 0.35, "pair ({s},{t}): rel error {rel}");
+        }
+        // Correlation across pairs should be extremely high.
+        let ests: Vec<f64> = pairs.iter().map(|&(s, t)| sketch.estimate(s, t)).collect();
+        assert!(vecops::pearson(&exact, &ests) > 0.97);
+    }
+
+    #[test]
+    fn recommended_projections_formula() {
+        let q = ResistanceSketch::recommended_projections(1000, 0.5);
+        assert_eq!(q, ((24.0 * 1000f64.ln()) / 0.25).ceil() as usize);
+    }
+
+    #[test]
+    fn sampled_pairs_are_distinct_and_valid() {
+        let pairs = sample_node_pairs(20, 50, 9);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len());
+        for &(s, t) in &pairs {
+            assert!(s < t && t < 20);
+        }
+    }
+}

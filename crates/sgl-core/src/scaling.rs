@@ -1,0 +1,122 @@
+//! Step 5 of Algorithm 1: spectral edge scaling (eqs. 21–23).
+//!
+//! The densification loop fixes the graph *topology* and relative
+//! weights; the final global scale is recovered by comparing voltage
+//! magnitudes: solve `L x̃_i = y_i` on the learned graph and multiply all
+//! weights by `√((1/M) Σ_i ‖x̃_i‖² / ‖x_i‖²)` — if the learned
+//! conductances are uniformly too small, the reconstructed voltages are
+//! too large in exactly that proportion.
+
+use crate::error::SglError;
+use crate::measure::Measurements;
+use sgl_graph::Graph;
+use sgl_linalg::vecops;
+use sgl_solver::{LaplacianSolver, SolverOptions};
+
+/// Apply spectral edge scaling to `graph` in place, returning the scale
+/// factor that was applied.
+///
+/// # Errors
+/// Returns [`SglError::InvalidMeasurements`] when no current measurements
+/// are available and propagates solver failures.
+pub fn spectral_edge_scaling(
+    graph: &mut Graph,
+    measurements: &Measurements,
+) -> Result<f64, SglError> {
+    let factor = edge_scale_factor(graph, measurements)?;
+    graph.scale_weights(factor);
+    Ok(factor)
+}
+
+/// Compute the eq. (23) scale factor without mutating the graph.
+///
+/// # Errors
+/// See [`spectral_edge_scaling`].
+pub fn edge_scale_factor(graph: &Graph, measurements: &Measurements) -> Result<f64, SglError> {
+    let y = measurements.currents().ok_or_else(|| {
+        SglError::InvalidMeasurements(
+            "edge scaling needs current measurements (Y); construct with Measurements::new \
+             or disable scale_edges"
+                .into(),
+        )
+    })?;
+    if graph.num_nodes() != measurements.num_nodes() {
+        return Err(SglError::InvalidMeasurements(format!(
+            "graph has {} nodes but measurements have {}",
+            graph.num_nodes(),
+            measurements.num_nodes()
+        )));
+    }
+    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+    let m = measurements.num_measurements();
+    let mut ratio_sum = 0.0;
+    for i in 0..m {
+        let yi = y.column(i);
+        let xi = measurements.voltage_vector(i);
+        let xi_norm_sq = vecops::norm2_sq(&xi);
+        if xi_norm_sq == 0.0 {
+            return Err(SglError::InvalidMeasurements(format!(
+                "voltage measurement {i} is identically zero"
+            )));
+        }
+        let xtilde = solver.solve(&yi)?;
+        ratio_sum += vecops::norm2_sq(&xtilde) / xi_norm_sq;
+    }
+    let factor = (ratio_sum / m as f64).sqrt();
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(SglError::InvalidMeasurements(format!(
+            "degenerate edge scale factor {factor}"
+        )));
+    }
+    Ok(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_datasets::grid2d;
+
+    #[test]
+    fn scaling_recovers_uniform_weight_error() {
+        // Ground truth graph; measurements generated on it.
+        let truth = grid2d(6, 6);
+        let meas = Measurements::generate(&truth, 20, 1).unwrap();
+        // "Learned" graph = truth with all weights off by 4×.
+        let mut learned = truth.clone();
+        learned.scale_weights(0.25);
+        let factor = spectral_edge_scaling(&mut learned, &meas).unwrap();
+        assert!(
+            (factor - 4.0).abs() < 1e-6,
+            "expected factor 4, got {factor}"
+        );
+        // After scaling, weights match the truth again.
+        for (et, el) in truth.edges().iter().zip(learned.edges()) {
+            assert!((et.weight - el.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_graph_scale_is_one() {
+        let truth = grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 15, 2).unwrap();
+        let factor = edge_scale_factor(&truth, &meas).unwrap();
+        assert!((factor - 1.0).abs() < 1e-7, "got {factor}");
+    }
+
+    #[test]
+    fn missing_currents_is_an_error() {
+        let truth = grid2d(4, 4);
+        let meas = Measurements::generate(&truth, 5, 3).unwrap();
+        let voltage_only = Measurements::from_voltages(meas.voltages().clone()).unwrap();
+        let mut g = truth.clone();
+        assert!(spectral_edge_scaling(&mut g, &voltage_only).is_err());
+    }
+
+    #[test]
+    fn node_count_mismatch_is_an_error() {
+        let truth = grid2d(4, 4);
+        let meas = Measurements::generate(&truth, 5, 3).unwrap();
+        let smaller = grid2d(3, 3);
+        assert!(edge_scale_factor(&smaller, &meas).is_err());
+    }
+}

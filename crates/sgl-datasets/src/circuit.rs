@@ -1,0 +1,181 @@
+//! Power-grid-style circuit network generator (the `G2_circuit` stand-in).
+//!
+//! `G2_circuit` (|V| = 150,102, |E| = 288,286, density 1.92) is a circuit
+//! simulation matrix: mostly grid-like connectivity, noticeably sparser
+//! than a full 2-D grid, with resistor values spread over decades. The
+//! generator reproduces those statistics: a random spanning tree of an
+//! `nx × ny` grid guarantees connectivity, then random unused grid edges
+//! are added until the target density is met, with log-uniform
+//! conductances.
+
+use sgl_graph::Graph;
+use sgl_linalg::Rng;
+
+/// Generate a connected circuit-style network on an `nx × ny` grid with
+/// the requested `density = |E| / |V|` and conductances log-uniform in
+/// `[w_min, w_max]`.
+///
+/// # Panics
+/// Panics if the grid is smaller than 2×2, if the density is below a
+/// spanning tree (`(n−1)/n`) or above what the grid supports, or if the
+/// weight range is invalid.
+pub fn circuit_grid(nx: usize, ny: usize, density: f64, seed: u64) -> Graph {
+    circuit_grid_weighted(nx, ny, density, 0.1, 10.0, seed)
+}
+
+/// [`circuit_grid`] with an explicit conductance range.
+///
+/// # Panics
+/// See [`circuit_grid`].
+pub fn circuit_grid_weighted(
+    nx: usize,
+    ny: usize,
+    density: f64,
+    w_min: f64,
+    w_max: f64,
+    seed: u64,
+) -> Graph {
+    assert!(nx >= 2 && ny >= 2, "circuit_grid: grid must be at least 2×2");
+    assert!(
+        w_min > 0.0 && w_max >= w_min,
+        "circuit_grid: invalid weight range"
+    );
+    let n = nx * ny;
+    let target_edges = (density * n as f64).round() as usize;
+    assert!(
+        target_edges >= n - 1,
+        "circuit_grid: density below spanning tree"
+    );
+    let max_edges = nx * (ny - 1) + ny * (nx - 1);
+    assert!(
+        target_edges <= max_edges,
+        "circuit_grid: density {density} exceeds grid capacity ({max_edges} edges)"
+    );
+
+    let id = |i: usize, j: usize| i * ny + j;
+    let mut rng = Rng::seed_from_u64(seed);
+    let weight = |rng: &mut Rng| -> f64 {
+        // Log-uniform conductance spread, like real power-grid extractions.
+        (w_min.ln() + (w_max.ln() - w_min.ln()) * rng.uniform()).exp()
+    };
+
+    // All candidate grid edges.
+    let mut candidates: Vec<(usize, usize)> = Vec::with_capacity(max_edges);
+    for i in 0..nx {
+        for j in 0..ny {
+            if i + 1 < nx {
+                candidates.push((id(i, j), id(i + 1, j)));
+            }
+            if j + 1 < ny {
+                candidates.push((id(i, j), id(i, j + 1)));
+            }
+        }
+    }
+
+    // Random spanning tree via randomized DFS over the grid (maze carve).
+    let mut g = Graph::new(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut tree_edges = 0usize;
+    while let Some(&u) = stack.last() {
+        let (ui, uj) = (u / ny, u % ny);
+        let mut neighbors = [usize::MAX; 4];
+        let mut cnt = 0;
+        if ui > 0 {
+            neighbors[cnt] = id(ui - 1, uj);
+            cnt += 1;
+        }
+        if ui + 1 < nx {
+            neighbors[cnt] = id(ui + 1, uj);
+            cnt += 1;
+        }
+        if uj > 0 {
+            neighbors[cnt] = id(ui, uj - 1);
+            cnt += 1;
+        }
+        if uj + 1 < ny {
+            neighbors[cnt] = id(ui, uj + 1);
+            cnt += 1;
+        }
+        // Pick a random unvisited neighbor.
+        let mut options: Vec<usize> = neighbors[..cnt]
+            .iter()
+            .copied()
+            .filter(|&v| !visited[v])
+            .collect();
+        if options.is_empty() {
+            stack.pop();
+            continue;
+        }
+        let v = options.swap_remove(rng.below(options.len()));
+        visited[v] = true;
+        let w = weight(&mut rng);
+        g.add_edge(u, v, w);
+        tree_edges += 1;
+        stack.push(v);
+    }
+    debug_assert_eq!(tree_edges, n - 1);
+
+    // Add random unused grid edges up to the target count.
+    rng.shuffle(&mut candidates);
+    let mut idx = 0;
+    while g.num_edges() < target_edges && idx < candidates.len() {
+        let (u, v) = candidates[idx];
+        idx += 1;
+        if g.has_edge(u, v) {
+            continue;
+        }
+        let w = weight(&mut rng);
+        g.add_edge(u, v, w);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_graph::traversal::is_connected;
+
+    #[test]
+    fn hits_target_density() {
+        let g = circuit_grid(50, 40, 1.92, 3);
+        assert_eq!(g.num_nodes(), 2000);
+        let want = (1.92f64 * 2000.0).round() as usize;
+        assert_eq!(g.num_edges(), want);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn spanning_tree_density_works() {
+        let n = 30 * 30;
+        let g = circuit_grid(30, 30, (n as f64 - 1.0) / n as f64, 1);
+        assert_eq!(g.num_edges(), n - 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn weights_within_range() {
+        let g = circuit_grid_weighted(20, 20, 1.5, 0.5, 2.0, 9);
+        for e in g.edges() {
+            assert!((0.5..=2.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = circuit_grid(25, 25, 1.7, 11);
+        let b = circuit_grid(25, 25, 1.7, 11);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+            assert_eq!(ea.weight, eb.weight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid capacity")]
+    fn over_dense_panics() {
+        circuit_grid(10, 10, 3.0, 1);
+    }
+}

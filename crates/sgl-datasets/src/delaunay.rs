@@ -1,0 +1,299 @@
+//! Bowyer–Watson Delaunay triangulation.
+//!
+//! A from-scratch 2-D triangulator used to synthesize finite-element-style
+//! meshes (the `airfoil` / `fe_4elt2` / `crack` stand-ins). The
+//! implementation favours clarity and robustness-for-our-inputs over raw
+//! speed: points are inserted in a shuffled order, candidate triangles are
+//! found by a linear scan with the incircle determinant, and a relative
+//! epsilon absorbs near-degenerate cases (generators jitter their point
+//! sets, so exactly-cocircular quadruples are not a practical concern).
+
+use sgl_linalg::Rng;
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Triangle {
+    v: [usize; 3],
+    // Cached circumcircle (center + squared radius) for the incircle test.
+    cx: f64,
+    cy: f64,
+    r2: f64,
+}
+
+fn circumcircle(a: Point, b: Point, c: Point) -> Option<(f64, f64, f64)> {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < 1e-300 {
+        return None; // collinear
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    let dx = a.x - ux;
+    let dy = a.y - uy;
+    Some((ux, uy, dx * dx + dy * dy))
+}
+
+/// Delaunay-triangulate a point set; returns triangles as index triples.
+///
+/// Duplicate points are tolerated (later copies are skipped). Fewer than
+/// three distinct points yield an empty triangulation.
+///
+/// # Panics
+/// Panics if any coordinate is not finite.
+pub fn delaunay(points: &[Point]) -> Vec<[usize; 3]> {
+    for p in points {
+        assert!(
+            p.x.is_finite() && p.y.is_finite(),
+            "delaunay: coordinates must be finite"
+        );
+    }
+    let n = points.len();
+    if n < 3 {
+        return Vec::new();
+    }
+
+    // Bounding super-triangle, comfortably containing everything.
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let mid_x = 0.5 * (min_x + max_x);
+    let mid_y = 0.5 * (min_y + max_y);
+    let sup = [
+        Point::new(mid_x - 20.0 * span, mid_y - 10.0 * span),
+        Point::new(mid_x + 20.0 * span, mid_y - 10.0 * span),
+        Point::new(mid_x, mid_y + 20.0 * span),
+    ];
+    // Working copy with super-triangle vertices appended at n..n+3.
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.extend_from_slice(&sup);
+
+    let make = |pts: &[Point], v: [usize; 3]| -> Option<Triangle> {
+        let (cx, cy, r2) = circumcircle(pts[v[0]], pts[v[1]], pts[v[2]])?;
+        Some(Triangle { v, cx, cy, r2 })
+    };
+
+    let mut tris: Vec<Triangle> = vec![make(&pts, [n, n + 1, n + 2]).expect("super triangle")];
+
+    // Shuffled insertion order for average-case behaviour.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::seed_from_u64(0x5eed_de1a);
+    rng.shuffle(&mut order);
+
+    let mut bad: Vec<usize> = Vec::new();
+    let mut boundary: Vec<(usize, usize)> = Vec::new();
+    for &pi in &order {
+        let p = pts[pi];
+        // Triangles whose circumcircle contains p.
+        bad.clear();
+        for (ti, t) in tris.iter().enumerate() {
+            let dx = p.x - t.cx;
+            let dy = p.y - t.cy;
+            // Tolerance scaled to the circumradius to absorb round-off.
+            if dx * dx + dy * dy <= t.r2 * (1.0 + 1e-12) {
+                bad.push(ti);
+            }
+        }
+        if bad.is_empty() {
+            // Point coincides with an existing vertex or is outside all
+            // circumcircles due to round-off; skip it (duplicate).
+            continue;
+        }
+        // Boundary of the cavity: edges that belong to exactly one bad
+        // triangle.
+        boundary.clear();
+        for &ti in &bad {
+            let t = &tris[ti];
+            for k in 0..3 {
+                let e = (t.v[k], t.v[(k + 1) % 3]);
+                // Search for the reverse or same edge already collected.
+                if let Some(pos) = boundary
+                    .iter()
+                    .position(|&(a, b)| (a, b) == (e.1, e.0) || (a, b) == e)
+                {
+                    boundary.swap_remove(pos);
+                } else {
+                    boundary.push(e);
+                }
+            }
+        }
+        // Remove bad triangles (descending index for stable swap_remove).
+        bad.sort_unstable_by(|a, b| b.cmp(a));
+        for &ti in &bad {
+            tris.swap_remove(ti);
+        }
+        // Retriangulate the cavity.
+        for &(a, b) in &boundary {
+            if let Some(t) = make(&pts, [a, b, pi]) {
+                tris.push(t);
+            }
+        }
+    }
+
+    // Strip triangles using super-triangle vertices.
+    tris.iter()
+        .filter(|t| t.v.iter().all(|&v| v < n))
+        .map(|t| {
+            let mut v = t.v;
+            v.sort_unstable();
+            [v[0], v[1], v[2]]
+        })
+        .collect()
+}
+
+/// Unique undirected edges of a triangulation.
+pub fn triangulation_edges(triangles: &[[usize; 3]]) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(triangles.len() * 3);
+    for t in triangles {
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[0], t[2])] {
+            let e = if a < b { (a, b) } else { (b, a) };
+            edges.push(e);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_of_three_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let t = delaunay(&pts);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn square_gives_two_triangles() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let t = delaunay(&pts);
+        assert_eq!(t.len(), 2);
+        let e = triangulation_edges(&t);
+        assert_eq!(e.len(), 5); // 4 sides + 1 diagonal
+    }
+
+    #[test]
+    fn delaunay_empty_circumcircle_property() {
+        // Random points: no point may lie strictly inside any triangle's
+        // circumcircle.
+        let mut rng = Rng::seed_from_u64(42);
+        let pts: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.uniform(), rng.uniform()))
+            .collect();
+        let tris = delaunay(&pts);
+        assert!(!tris.is_empty());
+        for t in &tris {
+            let (cx, cy, r2) = circumcircle(pts[t[0]], pts[t[1]], pts[t[2]]).unwrap();
+            for (i, p) in pts.iter().enumerate() {
+                if t.contains(&i) {
+                    continue;
+                }
+                let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+                assert!(
+                    d2 >= r2 * (1.0 - 1e-9),
+                    "point {i} inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euler_formula_for_planar_triangulation() {
+        // For a triangulation of a point set in general position:
+        // E = 3n - 3 - h, F(tri) = 2n - 2 - h with h = hull vertices.
+        let mut rng = Rng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..100)
+            .map(|_| Point::new(rng.uniform(), rng.uniform()))
+            .collect();
+        let tris = delaunay(&pts);
+        let edges = triangulation_edges(&tris);
+        let v = pts.len() as i64;
+        let e = edges.len() as i64;
+        let f = tris.len() as i64;
+        // Euler: V - E + F = 1 (triangulated disk, outer face excluded).
+        assert_eq!(v - e + f, 1, "V={v} E={e} F={f}");
+    }
+
+    #[test]
+    fn duplicate_points_are_tolerated() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.0, 0.0), // duplicate
+        ];
+        let t = delaunay(&pts);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn collinear_points_give_no_triangles() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let t = delaunay(&pts);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn grid_points_triangulate_fully() {
+        let mut pts = Vec::new();
+        let mut rng = Rng::seed_from_u64(3);
+        for i in 0..10 {
+            for j in 0..10 {
+                // Tiny jitter avoids exactly-cocircular grid quadruples.
+                pts.push(Point::new(
+                    i as f64 + 0.01 * rng.uniform(),
+                    j as f64 + 0.01 * rng.uniform(),
+                ));
+            }
+        }
+        let tris = delaunay(&pts);
+        // All 100 vertices appear.
+        let mut used = vec![false; 100];
+        for t in &tris {
+            for &v in t {
+                used[v] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+}

@@ -1,0 +1,163 @@
+//! One-call access to the paper's five benchmark instances (and scaled
+//! versions for quick runs).
+
+use crate::domains::MeshedDomain;
+use crate::{airfoil_mesh, circuit_grid, crack_mesh, fe_plate_mesh, grid2d};
+use sgl_graph::Graph;
+
+/// The five test cases of the paper's evaluation (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestCase {
+    /// "2D mesh": |V| = 10,000, |E| ≈ 20,000.
+    Mesh2d,
+    /// "airfoil": |V| = 4,253, |E| = 12,289.
+    Airfoil,
+    /// "fe_4elt2": |V| = 11,143, |E| = 32,818.
+    Fe4elt2,
+    /// "crack": |V| = 10,240, |E| = 30,380.
+    Crack,
+    /// "G2_circuit": |V| = 150,102, |E| = 288,286.
+    G2Circuit,
+}
+
+impl TestCase {
+    /// All five cases in paper order.
+    pub const ALL: [TestCase; 5] = [
+        TestCase::Mesh2d,
+        TestCase::Airfoil,
+        TestCase::Fe4elt2,
+        TestCase::Crack,
+        TestCase::G2Circuit,
+    ];
+
+    /// Display name used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TestCase::Mesh2d => "2D mesh",
+            TestCase::Airfoil => "airfoil",
+            TestCase::Fe4elt2 => "fe_4elt2",
+            TestCase::Crack => "crack",
+            TestCase::G2Circuit => "G2_circuit",
+        }
+    }
+
+    /// Node count reported in the paper.
+    pub fn paper_nodes(&self) -> usize {
+        match self {
+            TestCase::Mesh2d => 10_000,
+            TestCase::Airfoil => 4_253,
+            TestCase::Fe4elt2 => 11_143,
+            TestCase::Crack => 10_240,
+            TestCase::G2Circuit => 150_102,
+        }
+    }
+
+    /// Edge count reported in the paper.
+    pub fn paper_edges(&self) -> usize {
+        match self {
+            TestCase::Mesh2d => 20_000,
+            TestCase::Airfoil => 12_289,
+            TestCase::Fe4elt2 => 32_818,
+            TestCase::Crack => 30_380,
+            TestCase::G2Circuit => 288_286,
+        }
+    }
+
+    /// Generate the full paper-sized instance.
+    pub fn generate(&self, seed: u64) -> Graph {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generate at `scale` × the paper node count (e.g. 0.1 for smoke
+    /// tests). Scale is applied to the node count; densities are
+    /// preserved.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 10]`.
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> Graph {
+        assert!(
+            scale > 0.0 && scale <= 10.0,
+            "scale must be in (0, 10], got {scale}"
+        );
+        let n = ((self.paper_nodes() as f64 * scale).round() as usize).max(16);
+        match self {
+            TestCase::Mesh2d => {
+                let side = (n as f64).sqrt().round() as usize;
+                grid2d(side.max(4), side.max(4))
+            }
+            TestCase::Airfoil => airfoil_mesh(n, seed).graph,
+            TestCase::Fe4elt2 => fe_plate_mesh(n, seed).graph,
+            TestCase::Crack => crack_mesh(n, seed).graph,
+            TestCase::G2Circuit => {
+                let density = 288_286.0 / 150_102.0;
+                let side = (n as f64).sqrt().round() as usize;
+                circuit_grid(side.max(4), side.max(4), density, seed)
+            }
+        }
+    }
+
+    /// Generate the instance together with coordinates when the case has
+    /// a natural 2-D embedding (FE meshes); `None` for the others.
+    pub fn generate_meshed(&self, scale: f64, seed: u64) -> Option<MeshedDomain> {
+        let n = ((self.paper_nodes() as f64 * scale).round() as usize).max(16);
+        match self {
+            TestCase::Airfoil => Some(airfoil_mesh(n, seed)),
+            TestCase::Fe4elt2 => Some(fe_plate_mesh(n, seed)),
+            TestCase::Crack => Some(crack_mesh(n, seed)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TestCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_graph::traversal::is_connected;
+
+    #[test]
+    fn scaled_instances_are_connected_and_sized() {
+        for tc in TestCase::ALL {
+            let g = tc.generate_scaled(0.05, 1);
+            assert!(is_connected(&g), "{tc} disconnected");
+            let want = (tc.paper_nodes() as f64 * 0.05).round();
+            let got = g.num_nodes() as f64;
+            assert!(
+                got > want * 0.4 && got < want * 2.5,
+                "{tc}: {got} nodes vs target {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn densities_track_paper() {
+        for tc in [TestCase::Airfoil, TestCase::Crack, TestCase::Fe4elt2] {
+            let g = tc.generate_scaled(0.1, 2);
+            let paper_density = tc.paper_edges() as f64 / tc.paper_nodes() as f64;
+            assert!(
+                (g.density() - paper_density).abs() < 0.45,
+                "{tc}: density {} vs paper {paper_density}",
+                g.density()
+            );
+        }
+        let g2 = TestCase::G2Circuit.generate_scaled(0.02, 2);
+        assert!((g2.density() - 1.92).abs() < 0.05);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(TestCase::Fe4elt2.name(), "fe_4elt2");
+        assert_eq!(TestCase::G2Circuit.to_string(), "G2_circuit");
+    }
+
+    #[test]
+    fn meshed_variants_exist_for_fe_cases() {
+        assert!(TestCase::Airfoil.generate_meshed(0.05, 1).is_some());
+        assert!(TestCase::Mesh2d.generate_meshed(0.05, 1).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the synthetic test-case generators.
+
+use proptest::prelude::*;
+use sgl_datasets::delaunay::{delaunay, triangulation_edges, Point};
+use sgl_datasets::{circuit_grid, grid2d, grid3d, torus2d};
+use sgl_graph::traversal::{connected_components, is_connected};
+use sgl_linalg::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grids_are_connected_with_exact_counts(
+        nx in 2usize..12,
+        ny in 2usize..12,
+    ) {
+        let g = grid2d(nx, ny);
+        prop_assert_eq!(g.num_nodes(), nx * ny);
+        prop_assert_eq!(g.num_edges(), nx * (ny - 1) + ny * (nx - 1));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn torus_has_regular_degree(
+        nx in 3usize..10,
+        ny in 3usize..10,
+    ) {
+        let g = torus2d(nx, ny);
+        prop_assert_eq!(g.num_edges(), 2 * nx * ny);
+        for d in g.degrees() {
+            prop_assert_eq!(d, 4);
+        }
+    }
+
+    #[test]
+    fn grid3d_connected(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        nz in 2usize..5,
+    ) {
+        let g = grid3d(nx, ny, nz);
+        prop_assert_eq!(g.num_nodes(), nx * ny * nz);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn circuit_grid_density_and_connectivity(
+        side in 6usize..20,
+        dens_pct in 110usize..180,
+        seed in 0u64..1000,
+    ) {
+        let density = dens_pct as f64 / 100.0;
+        let n = side * side;
+        let max_density = (2 * side * (side - 1)) as f64 / n as f64;
+        prop_assume!(density < max_density);
+        let g = circuit_grid(side, side, density, seed);
+        prop_assert!(is_connected(&g));
+        let want = (density * n as f64).round() as usize;
+        prop_assert_eq!(g.num_edges(), want);
+    }
+
+    #[test]
+    fn delaunay_euler_formula_random_points(
+        n in 4usize..60,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.uniform(), rng.uniform()))
+            .collect();
+        let tris = delaunay(&pts);
+        prop_assume!(!tris.is_empty());
+        let edges = triangulation_edges(&tris);
+        // Triangulated planar disk: V − E + F = 1 (outer face excluded).
+        // Duplicate/degenerate points may be skipped, so count used nodes.
+        let mut used: Vec<bool> = vec![false; n];
+        for t in &tris {
+            for &v in t {
+                used[v] = true;
+            }
+        }
+        let v = used.iter().filter(|&&u| u).count() as i64;
+        let e = edges.len() as i64;
+        let f = tris.len() as i64;
+        prop_assert_eq!(v - e + f, 1, "V={} E={} F={}", v, e, f);
+        // The triangulation's edge graph is connected on used nodes.
+        let g = sgl_graph::Graph::from_edges(
+            n,
+            edges.iter().map(|&(a, b)| (a, b, 1.0)),
+        );
+        let comps = connected_components(&g);
+        let used_comp: std::collections::HashSet<usize> = (0..n)
+            .filter(|&i| used[i])
+            .map(|i| comps.labels[i])
+            .collect();
+        prop_assert_eq!(used_comp.len(), 1);
+    }
+
+    #[test]
+    fn delaunay_triangles_index_valid_points(
+        n in 3usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.uniform() * 10.0, rng.uniform() * 10.0))
+            .collect();
+        for t in delaunay(&pts) {
+            for &v in &t {
+                prop_assert!(v < n);
+            }
+            prop_assert!(t[0] < t[1] && t[1] < t[2], "sorted triple");
+        }
+    }
+}

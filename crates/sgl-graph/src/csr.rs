@@ -1,0 +1,110 @@
+//! CSR adjacency structure for fast neighbor iteration.
+
+use crate::Graph;
+
+/// Compressed adjacency: for each node, its neighbors, the connecting
+/// weights, and the index of the underlying edge in the parent graph.
+///
+/// # Example
+/// ```
+/// use sgl_graph::{Graph, AdjacencyCsr};
+/// let g = Graph::from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)]);
+/// let adj = AdjacencyCsr::build(&g);
+/// let n1: Vec<_> = adj.neighbors(1).map(|(v, w, _)| (v, w)).collect();
+/// assert_eq!(n1, vec![(0, 2.0), (2, 3.0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdjacencyCsr {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+    weights: Vec<f64>,
+    edge_ids: Vec<usize>,
+}
+
+impl AdjacencyCsr {
+    /// Build the adjacency structure for a graph.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut counts = vec![0usize; n];
+        for e in g.edges() {
+            counts[e.u] += 1;
+            counts[e.v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let total = offsets[n];
+        let mut neighbors = vec![0usize; total];
+        let mut weights = vec![0.0; total];
+        let mut edge_ids = vec![0usize; total];
+        let mut next = offsets.clone();
+        for (idx, e) in g.edges().iter().enumerate() {
+            let pu = next[e.u];
+            neighbors[pu] = e.v;
+            weights[pu] = e.weight;
+            edge_ids[pu] = idx;
+            next[e.u] += 1;
+            let pv = next[e.v];
+            neighbors[pv] = e.u;
+            weights[pv] = e.weight;
+            edge_ids[pv] = idx;
+            next[e.v] += 1;
+        }
+        AdjacencyCsr {
+            offsets,
+            neighbors,
+            weights,
+            edge_ids,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Iterate `(neighbor, weight, edge_index)` for node `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64, usize)> + '_ {
+        let lo = self.offsets[u];
+        let hi = self.offsets[u + 1];
+        (lo..hi).map(move |p| (self.neighbors[p], self.weights[p], self.edge_ids[p]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (3, 4, 1.0)]);
+        let adj = AdjacencyCsr::build(&g);
+        assert_eq!(adj.degree(0), 3);
+        assert_eq!(adj.degree(4), 1);
+        assert_eq!(adj.degree(2), 1);
+        assert_eq!(adj.num_nodes(), 5);
+    }
+
+    #[test]
+    fn neighbors_carry_edge_ids() {
+        let g = Graph::from_edges(3, [(0, 1, 5.0), (1, 2, 7.0)]);
+        let adj = AdjacencyCsr::build(&g);
+        let mut seen: Vec<_> = adj.neighbors(1).collect();
+        seen.sort_by_key(|&(v, _, _)| v);
+        assert_eq!(seen, vec![(0, 5.0, 0), (2, 7.0, 1)]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_no_neighbors() {
+        let g = Graph::new(3);
+        let adj = AdjacencyCsr::build(&g);
+        assert_eq!(adj.degree(1), 0);
+        assert_eq!(adj.neighbors(1).count(), 0);
+    }
+}

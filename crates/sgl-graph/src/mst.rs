@@ -1,0 +1,159 @@
+//! Kruskal spanning trees (maximum and minimum).
+//!
+//! SGL's Step 1 extracts a **maximum** spanning tree of the kNN graph:
+//! because kNN edge weights are `M / ‖X^T e_{s,t}‖²`, maximizing total
+//! weight keeps the edges between the most similar measurement profiles.
+
+use crate::union_find::UnionFind;
+use crate::Graph;
+
+/// A spanning forest returned by the Kruskal runs.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// Indices (into the parent graph's edge list) of the tree edges.
+    pub edge_indices: Vec<usize>,
+    /// `true` at position `i` iff edge `i` of the parent graph is in the tree.
+    pub in_tree: Vec<bool>,
+    /// Number of connected components of the parent graph (1 = spanning tree).
+    pub num_components: usize,
+}
+
+impl SpanningTree {
+    /// Materialize the tree as its own [`Graph`] (same node set).
+    pub fn to_graph(&self, parent: &Graph) -> Graph {
+        parent.edge_subgraph(&self.edge_indices)
+    }
+
+    /// Indices of parent edges *not* in the tree (the SGL candidate pool).
+    pub fn off_tree_edges(&self) -> Vec<usize> {
+        self.in_tree
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| if t { None } else { Some(i) })
+            .collect()
+    }
+}
+
+/// Maximum-weight spanning forest via Kruskal.
+pub fn maximum_spanning_tree(g: &Graph) -> SpanningTree {
+    kruskal(g, true)
+}
+
+/// Minimum-weight spanning forest via Kruskal.
+pub fn minimum_spanning_tree(g: &Graph) -> SpanningTree {
+    kruskal(g, false)
+}
+
+fn kruskal(g: &Graph, maximize: bool) -> SpanningTree {
+    let mut order: Vec<usize> = (0..g.num_edges()).collect();
+    if maximize {
+        order.sort_by(|&a, &b| {
+            g.edge(b)
+                .weight
+                .partial_cmp(&g.edge(a).weight)
+                .expect("edge weights are finite")
+        });
+    } else {
+        order.sort_by(|&a, &b| {
+            g.edge(a)
+                .weight
+                .partial_cmp(&g.edge(b).weight)
+                .expect("edge weights are finite")
+        });
+    }
+    let mut uf = UnionFind::new(g.num_nodes());
+    let mut edge_indices = Vec::with_capacity(g.num_nodes().saturating_sub(1));
+    let mut in_tree = vec![false; g.num_edges()];
+    for i in order {
+        let e = g.edge(i);
+        if uf.union(e.u, e.v) {
+            edge_indices.push(i);
+            in_tree[i] = true;
+            if uf.num_sets() == 1 {
+                break;
+            }
+        }
+    }
+    edge_indices.sort_unstable();
+    SpanningTree {
+        edge_indices,
+        in_tree,
+        num_components: uf.num_sets(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> Graph {
+        // 0-1-2-3-0 cycle plus diagonal 0-2.
+        Graph::from_edges(
+            4,
+            [
+                (0, 1, 4.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 0, 2.0),
+                (0, 2, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn max_tree_picks_heaviest_edges() {
+        let g = square_with_diagonal();
+        let t = maximum_spanning_tree(&g);
+        assert_eq!(t.num_components, 1);
+        assert_eq!(t.edge_indices.len(), 3);
+        let total: f64 = t.edge_indices.iter().map(|&i| g.edge(i).weight).sum();
+        // Heaviest spanning tree: 5 + 4 + 3 = 12.
+        assert_eq!(total, 12.0);
+    }
+
+    #[test]
+    fn min_tree_picks_lightest_edges() {
+        let g = square_with_diagonal();
+        let t = minimum_spanning_tree(&g);
+        let total: f64 = t.edge_indices.iter().map(|&i| g.edge(i).weight).sum();
+        // Lightest spanning tree: 1 + 2 + 3 = 6.
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)]); // node 4 isolated
+        let t = maximum_spanning_tree(&g);
+        assert_eq!(t.num_components, 3);
+        assert_eq!(t.edge_indices.len(), 2);
+    }
+
+    #[test]
+    fn off_tree_edges_complement_tree() {
+        let g = square_with_diagonal();
+        let t = maximum_spanning_tree(&g);
+        let off = t.off_tree_edges();
+        assert_eq!(off.len(), g.num_edges() - t.edge_indices.len());
+        for &i in &off {
+            assert!(!t.in_tree[i]);
+        }
+    }
+
+    #[test]
+    fn tree_is_acyclic_spanning() {
+        let g = square_with_diagonal();
+        let t = maximum_spanning_tree(&g);
+        let tg = t.to_graph(&g);
+        assert_eq!(tg.num_edges(), 3);
+        let comps = crate::traversal::connected_components(&tg);
+        assert_eq!(comps.num_components, 1);
+    }
+
+    #[test]
+    fn equal_weights_still_give_spanning_tree() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let t = maximum_spanning_tree(&g);
+        assert_eq!(t.edge_indices.len(), 3);
+        assert_eq!(t.num_components, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Summary statistics reported alongside the paper's figures.
+
+use crate::Graph;
+
+/// Degree/weight summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub num_nodes: usize,
+    /// Edge count.
+    pub num_edges: usize,
+    /// `|E| / |V|` — the "density" the paper reports (1.0 ≈ spanning tree).
+    pub density: f64,
+    /// Mean unweighted degree.
+    pub mean_degree: f64,
+    /// Maximum unweighted degree.
+    pub max_degree: usize,
+    /// Minimum edge weight.
+    pub min_weight: f64,
+    /// Maximum edge weight.
+    pub max_weight: f64,
+    /// Total edge weight.
+    pub total_weight: f64,
+}
+
+/// Compute a [`GraphStats`] summary.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let degrees = g.degrees();
+    let (mut min_w, mut max_w, mut total_w) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for e in g.edges() {
+        min_w = min_w.min(e.weight);
+        max_w = max_w.max(e.weight);
+        total_w += e.weight;
+    }
+    if g.num_edges() == 0 {
+        min_w = 0.0;
+        max_w = 0.0;
+    }
+    GraphStats {
+        num_nodes: g.num_nodes(),
+        num_edges: g.num_edges(),
+        density: g.density(),
+        mean_degree: if g.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * g.num_edges() as f64 / g.num_nodes() as f64
+        },
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        min_weight: min_w,
+        max_weight: max_w,
+        total_weight: total_w,
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} density={:.3} deg(mean/max)={:.2}/{} w(min/max)={:.3e}/{:.3e}",
+            self.num_nodes,
+            self.num_edges,
+            self.density,
+            self.mean_degree,
+            self.max_degree,
+            self.min_weight,
+            self.max_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_path() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.density - 0.75).abs() < 1e-15);
+        assert!((s.mean_degree - 1.5).abs() < 1e-15);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_weight, 1.0);
+        assert_eq!(s.max_weight, 4.0);
+        assert_eq!(s.total_weight, 7.0);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let s = graph_stats(&Graph::new(0));
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.min_weight, 0.0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_density() {
+        let g = Graph::from_edges(2, [(0, 1, 1.0)]);
+        assert!(graph_stats(&g).to_string().contains("density"));
+    }
+}

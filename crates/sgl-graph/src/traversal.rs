@@ -1,0 +1,153 @@
+//! Breadth-first traversal and connectivity.
+
+use crate::csr::AdjacencyCsr;
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Connected-component labelling.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per node (ids are `0..num_components`).
+    pub labels: Vec<usize>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl Components {
+    /// Node lists per component.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_components];
+        for (node, &c) in self.labels.iter().enumerate() {
+            out[c].push(node);
+        }
+        out
+    }
+
+    /// Index of the largest component.
+    pub fn largest(&self) -> usize {
+        let mut counts = vec![0usize; self.num_components];
+        for &c in &self.labels {
+            counts[c] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Label connected components by BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let adj = AdjacencyCsr::build(g);
+    connected_components_adj(&adj)
+}
+
+/// Component labelling over a prebuilt adjacency structure.
+pub fn connected_components_adj(adj: &AdjacencyCsr) -> Components {
+    let n = adj.num_nodes();
+    let mut labels = vec![usize::MAX; n];
+    let mut num = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = num;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for (v, _, _) in adj.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = num;
+                    queue.push_back(v);
+                }
+            }
+        }
+        num += 1;
+    }
+    Components {
+        labels,
+        num_components: num,
+    }
+}
+
+/// Whether the graph is connected (true for the empty graph on ≤1 node).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() <= 1 || connected_components(g).num_components == 1
+}
+
+/// BFS distances (in hops) from `source`; unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_nodes(), "bfs source out of range");
+    let adj = AdjacencyCsr::build(g);
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for (v, _, _) in adj.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_connected() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert!(is_connected(&g));
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 1);
+    }
+
+    #[test]
+    fn two_components_detected() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_ne!(c.labels[0], c.labels[2]);
+        let groups = c.groups();
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let g = Graph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        let c = connected_components(&g);
+        let big = c.largest();
+        assert_eq!(c.labels[0], big);
+        assert_eq!(c.labels[2], big);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(3, [(0, 1, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn empty_graph_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Rooted spanning-tree structure.
+//!
+//! The SGL learned graph is always "a spanning tree plus a few off-tree
+//! edges", and the fast Laplacian solver exploits that by eliminating the
+//! tree in linear time. [`RootedTree`] precomputes the parent pointers and
+//! a topological (BFS) order that the solver sweeps.
+
+use crate::csr::AdjacencyCsr;
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// A spanning tree of a connected graph, rooted and topologically ordered.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    /// Root node.
+    pub root: usize,
+    /// Parent of each node (`parent[root] == root`).
+    pub parent: Vec<usize>,
+    /// Weight of the edge to the parent (`0` for the root).
+    pub parent_weight: Vec<f64>,
+    /// Nodes in BFS order from the root (parents precede children).
+    pub order: Vec<usize>,
+    /// Depth (hops) of each node.
+    pub depth: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Root the given tree graph at `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range, or if the graph is not a
+    /// connected tree on its node set (i.e. `|E| != |V|−1` or some node is
+    /// unreachable).
+    pub fn from_tree_graph(tree: &Graph, root: usize) -> Self {
+        let n = tree.num_nodes();
+        assert!(root < n, "root out of range");
+        assert_eq!(
+            tree.num_edges(),
+            n.saturating_sub(1),
+            "not a tree: |E| must equal |V| - 1"
+        );
+        let adj = AdjacencyCsr::build(tree);
+        let mut parent = vec![usize::MAX; n];
+        let mut parent_weight = vec![0.0; n];
+        let mut depth = vec![0usize; n];
+        let mut order = Vec::with_capacity(n);
+        parent[root] = root;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for (v, w, _) in adj.neighbors(u) {
+                if parent[v] == usize::MAX {
+                    parent[v] = u;
+                    parent_weight[v] = w;
+                    depth[v] = depth[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "tree is not connected");
+        RootedTree {
+            root,
+            parent,
+            parent_weight,
+            order,
+            depth,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Path from `u` up to the root (inclusive).
+    pub fn path_to_root(&self, mut u: usize) -> Vec<usize> {
+        let mut path = vec![u];
+        while self.parent[u] != u {
+            u = self.parent[u];
+            path.push(u);
+        }
+        path
+    }
+
+    /// Sum of inverse weights (tree resistance) along the unique tree path
+    /// between `u` and `v` — the exact effective resistance on a tree.
+    pub fn path_resistance(&self, u: usize, v: usize) -> f64 {
+        // Walk both nodes up to equal depth, then in lockstep to the LCA.
+        let (mut a, mut b) = (u, v);
+        let mut r = 0.0;
+        while self.depth[a] > self.depth[b] {
+            r += 1.0 / self.parent_weight[a];
+            a = self.parent[a];
+        }
+        while self.depth[b] > self.depth[a] {
+            r += 1.0 / self.parent_weight[b];
+            b = self.parent[b];
+        }
+        while a != b {
+            r += 1.0 / self.parent_weight[a] + 1.0 / self.parent_weight[b];
+            a = self.parent[a];
+            b = self.parent[b];
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_tree(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)))
+    }
+
+    #[test]
+    fn bfs_order_has_parents_first() {
+        let t = RootedTree::from_tree_graph(&path_tree(6), 0);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, &u) in t.order.iter().enumerate() {
+                p[u] = i;
+            }
+            p
+        };
+        for u in 0..6 {
+            if u != t.root {
+                assert!(pos[t.parent[u]] < pos[u]);
+            }
+        }
+    }
+
+    #[test]
+    fn depths_on_path() {
+        let t = RootedTree::from_tree_graph(&path_tree(5), 0);
+        assert_eq!(t.depth, vec![0, 1, 2, 3, 4]);
+        let t2 = RootedTree::from_tree_graph(&path_tree(5), 2);
+        assert_eq!(t2.depth, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn path_to_root_walks_up() {
+        let t = RootedTree::from_tree_graph(&path_tree(4), 0);
+        assert_eq!(t.path_to_root(3), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn path_resistance_sums_inverse_weights() {
+        let g = Graph::from_edges(4, [(0, 1, 2.0), (1, 2, 4.0), (1, 3, 1.0)]);
+        let t = RootedTree::from_tree_graph(&g, 0);
+        assert!((t.path_resistance(0, 2) - (0.5 + 0.25)).abs() < 1e-15);
+        assert!((t.path_resistance(2, 3) - (0.25 + 1.0)).abs() < 1e-15);
+        assert_eq!(t.path_resistance(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn cycle_is_rejected() {
+        let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        RootedTree::from_tree_graph(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn forest_is_rejected() {
+        // 4 nodes, 3 edges, but contains a cycle and an isolated node:
+        // |E| = |V|-1 holds yet it is not a tree.
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        RootedTree::from_tree_graph(&g, 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sgl_graph::laplacian::{laplacian_csr, LaplacianOp};
+use sgl_graph::mst::{maximum_spanning_tree, minimum_spanning_tree};
+use sgl_graph::traversal::{bfs_distances, connected_components};
+use sgl_graph::tree::RootedTree;
+use sgl_graph::{Graph, UnionFind};
+use sgl_linalg::{vecops, LinearOperator, Rng};
+
+fn random_graph(n: usize, extra: usize, seed: u64, connected: bool) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    if connected {
+        for v in 1..n {
+            let u = rng.below(v);
+            g.add_edge(u, v, 0.1 + rng.uniform() * 9.9);
+        }
+    }
+    let mut tries = 0;
+    let mut added = 0;
+    while added < extra && tries < 20 * extra + 20 {
+        tries += 1;
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v, 0.1 + rng.uniform() * 9.9);
+            added += 1;
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_and_psd(
+        n in 2usize..25,
+        extra in 0usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, seed, true);
+        let l = laplacian_csr(&g);
+        let ones = vec![1.0; n];
+        prop_assert!(vecops::norm2(&l.matvec(&ones)) < 1e-10);
+        // Quadratic form non-negative for random vectors.
+        let mut rng = Rng::seed_from_u64(seed ^ 7);
+        for _ in 0..5 {
+            let x = rng.normal_vec(n);
+            prop_assert!(l.quadratic_form(&x) >= -1e-10);
+        }
+        // Matrix-free operator agrees with CSR.
+        let op = LaplacianOp::new(&g);
+        let x = rng.normal_vec(n);
+        let a = l.matvec(&x);
+        let b = op.apply_vec(&x);
+        for i in 0..n {
+            prop_assert!((a[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spanning_tree_structure(
+        n in 2usize..30,
+        extra in 0usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, seed, true);
+        let t = maximum_spanning_tree(&g);
+        prop_assert_eq!(t.num_components, 1);
+        prop_assert_eq!(t.edge_indices.len(), n - 1);
+        // Tree + off-tree = all edges.
+        prop_assert_eq!(t.edge_indices.len() + t.off_tree_edges().len(), g.num_edges());
+        // Max tree outweighs min tree.
+        let tmin = minimum_spanning_tree(&g);
+        let wmax: f64 = t.edge_indices.iter().map(|&i| g.edge(i).weight).sum();
+        let wmin: f64 = tmin.edge_indices.iter().map(|&i| g.edge(i).weight).sum();
+        prop_assert!(wmax >= wmin - 1e-12);
+        // The tree graph is connected and acyclic.
+        let tg = t.to_graph(&g);
+        prop_assert_eq!(connected_components(&tg).num_components, 1);
+    }
+
+    #[test]
+    fn component_labels_partition_nodes(
+        n in 1usize..30,
+        extra in 0usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, seed, false);
+        let c = connected_components(&g);
+        prop_assert_eq!(c.labels.len(), n);
+        // Each edge joins same-component nodes.
+        for e in g.edges() {
+            prop_assert_eq!(c.labels[e.u], c.labels[e.v]);
+        }
+        // Union-find agrees with BFS labelling.
+        let mut uf = UnionFind::new(n);
+        for e in g.edges() {
+            uf.union(e.u, e.v);
+        }
+        prop_assert_eq!(uf.num_sets(), c.num_components);
+    }
+
+    #[test]
+    fn bfs_distance_triangle_inequality_on_edges(
+        n in 2usize..25,
+        extra in 0usize..25,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, seed, true);
+        let d = bfs_distances(&g, 0);
+        for e in g.edges() {
+            prop_assert!(d[e.u].abs_diff(d[e.v]) <= 1);
+        }
+    }
+
+    #[test]
+    fn rooted_tree_path_resistance_is_symmetric_metric(
+        n in 2usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, 0, seed, true);
+        let t = RootedTree::from_tree_graph(&g, 0);
+        let mut rng = Rng::seed_from_u64(seed ^ 3);
+        for _ in 0..5 {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            let rab = t.path_resistance(a, b);
+            let rba = t.path_resistance(b, a);
+            prop_assert!((rab - rba).abs() < 1e-12);
+            if a != b {
+                prop_assert!(rab > 0.0);
+            } else {
+                prop_assert_eq!(rab, 0.0);
+            }
+            // Triangle inequality through a third node.
+            let c = rng.below(n);
+            prop_assert!(rab <= t.path_resistance(a, c) + t.path_resistance(c, b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(
+        n in 2usize..15,
+        extra in 0usize..15,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, seed, true);
+        let mut buf = Vec::new();
+        sgl_graph::io::write_matrix_market(&mut buf, &g).unwrap();
+        let g2 = sgl_graph::io::read_matrix_market(
+            std::io::Cursor::new(buf),
+            sgl_graph::io::MatrixKind::Adjacency,
+        )
+        .unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for e in g.edges() {
+            let i = g2.find_edge(e.u, e.v).unwrap();
+            prop_assert!((g2.edge(i).weight - e.weight).abs() < 1e-12 * e.weight.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Exact brute-force nearest-neighbor search.
+
+use crate::NearestNeighbors;
+use sgl_linalg::{vecops, DenseMatrix};
+
+/// Exact kNN by linear scan, parallelized across queries with scoped
+/// threads when building whole neighbor tables.
+#[derive(Debug, Clone)]
+pub struct BruteForceKnn {
+    data: DenseMatrix,
+}
+
+impl BruteForceKnn {
+    /// Index the rows of `data`.
+    pub fn new(data: &DenseMatrix) -> Self {
+        BruteForceKnn { data: data.clone() }
+    }
+
+    /// Neighbor tables for every indexed point (excluding self), computed
+    /// in parallel with `threads` workers (0 = use available parallelism).
+    pub fn all_knn(&self, k: usize, threads: usize) -> Vec<Vec<(usize, f64)>> {
+        let n = self.data.nrows();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n.max(1))
+        } else {
+            threads
+        };
+        let mut out: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let chunk = n.div_ceil(workers.max(1));
+        std::thread::scope(|s| {
+            let mut rest: &mut [Vec<(usize, f64)>] = &mut out;
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            while start < n {
+                let take = chunk.min(n - start);
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let lo = start;
+                let this = &*self;
+                handles.push(s.spawn(move || {
+                    for (off, slot) in head.iter_mut().enumerate() {
+                        *slot = this.knn_of_point(lo + off, k);
+                    }
+                }));
+                start += take;
+            }
+        });
+        out
+    }
+
+    fn scan(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.data.ncols(), "query dimension mismatch");
+        let n = self.data.nrows();
+        // Bounded max-heap via sorted Vec is fine for the small k SGL uses.
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        for i in 0..n {
+            if Some(i) == exclude {
+                continue;
+            }
+            let d = vecops::dist_sq(self.data.row(i), query);
+            if best.len() < k {
+                best.push((i, d));
+                best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            } else if let Some(last) = best.last() {
+                if d < last.1 {
+                    best.pop();
+                    let pos = best
+                        .binary_search_by(|p| p.1.partial_cmp(&d).unwrap())
+                        .unwrap_or_else(|e| e);
+                    best.insert(pos, (i, d));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl NearestNeighbors for BruteForceKnn {
+    fn num_points(&self) -> usize {
+        self.data.nrows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.ncols()
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        self.scan(query, k, None)
+    }
+
+    fn knn_of_point(&self, index: usize, k: usize) -> Vec<(usize, f64)> {
+        let q = self.data.row(index).to_vec();
+        self.scan(&q, k, Some(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_linalg::Rng;
+
+    fn line_points(n: usize) -> DenseMatrix {
+        DenseMatrix::from_rows(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn nearest_on_line() {
+        let idx = BruteForceKnn::new(&line_points(10));
+        let nn = idx.knn(&[3.2], 3);
+        assert_eq!(nn[0].0, 3);
+        assert_eq!(nn[1].0, 4);
+        assert_eq!(nn[2].0, 2);
+        assert!((nn[0].1 - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_of_point_excludes_self() {
+        let idx = BruteForceKnn::new(&line_points(5));
+        let nn = idx.knn_of_point(2, 2);
+        assert!(!nn.iter().any(|&(i, _)| i == 2));
+        assert_eq!(nn.len(), 2);
+    }
+
+    #[test]
+    fn distances_are_sorted() {
+        let mut rng = Rng::seed_from_u64(5);
+        let data = DenseMatrix::from_fn(100, 4, |_, _| rng.standard_normal());
+        let idx = BruteForceKnn::new(&data);
+        let nn = idx.knn_of_point(0, 10);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_others() {
+        let idx = BruteForceKnn::new(&line_points(4));
+        let nn = idx.knn_of_point(0, 10);
+        assert_eq!(nn.len(), 3);
+    }
+
+    #[test]
+    fn all_knn_matches_individual_queries() {
+        let mut rng = Rng::seed_from_u64(6);
+        let data = DenseMatrix::from_fn(60, 3, |_, _| rng.standard_normal());
+        let idx = BruteForceKnn::new(&data);
+        let all = idx.all_knn(5, 3);
+        for i in [0usize, 17, 59] {
+            assert_eq!(all[i], idx.knn_of_point(i, 5));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Hierarchical navigable small world (HNSW) approximate nearest-neighbor
+//! index, implemented from scratch after Malkov & Yashunin (the paper's
+//! reference [8]).
+//!
+//! Design notes:
+//! * levels are sampled geometrically with `mL = 1/ln(m)`;
+//! * upper layers are traversed greedily, layer 0 with a beam of width
+//!   `ef`;
+//! * neighbor lists are pruned to the closest `m` (`2m` at layer 0) —
+//!   the simple distance-based selection, which is accurate enough for
+//!   the low-intrinsic-dimension voltage manifolds SGL works on.
+
+use crate::NearestNeighbors;
+use sgl_linalg::{vecops, DenseMatrix, Rng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Construction/search parameters.
+#[derive(Debug, Clone)]
+pub struct HnswParams {
+    /// Max links per node on upper layers (layer 0 allows `2m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Default beam width during search (raise for better recall).
+    pub ef_search: usize,
+    /// Level-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 12,
+            ef_construction: 100,
+            ef_search: 48,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Max-heap entry ordered by distance (for result pruning).
+#[derive(Debug, PartialEq)]
+struct Far(f64, usize);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Min-heap entry (via reversed ordering) for the candidate frontier.
+#[derive(Debug, PartialEq)]
+struct Near(f64, usize);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// The HNSW index.
+#[derive(Debug)]
+pub struct HnswIndex {
+    data: DenseMatrix,
+    /// links[node][level] = neighbor ids.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: usize,
+    max_level: usize,
+    params: HnswParams,
+}
+
+impl HnswIndex {
+    /// Build the index over the rows of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` has zero rows or columns, or if `m < 2`.
+    pub fn build(data: &DenseMatrix, params: HnswParams) -> Self {
+        assert!(data.nrows() > 0 && data.ncols() > 0, "hnsw: empty data");
+        assert!(params.m >= 2, "hnsw: m must be at least 2");
+        let n = data.nrows();
+        let ml = 1.0 / (params.m as f64).ln();
+        let mut rng = Rng::seed_from_u64(params.seed);
+        let mut index = HnswIndex {
+            data: data.clone(),
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+            params,
+        };
+        for i in 0..n {
+            let u = 1.0 - rng.uniform(); // (0, 1]
+            let level = (-(u.ln()) * ml).floor() as usize;
+            index.insert(i, level);
+        }
+        index
+    }
+
+    #[inline]
+    fn dist(&self, a: usize, q: &[f64]) -> f64 {
+        vecops::dist_sq(self.data.row(a), q)
+    }
+
+    fn insert(&mut self, node: usize, level: usize) {
+        self.links.push(vec![Vec::new(); level + 1]);
+        if node == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        let q = self.data.row(node).to_vec();
+        let mut ep = self.entry;
+        // Greedy descent through layers above the node's level.
+        let top = self.max_level;
+        for l in ((level + 1)..=top).rev() {
+            ep = self.greedy_closest(&q, ep, l);
+        }
+        // Beam search + connect on the shared layers.
+        for l in (0..=level.min(top)).rev() {
+            let ef = self.params.ef_construction;
+            let found = self.search_layer(&q, ep, ef, l);
+            ep = found.first().map(|&(i, _)| i).unwrap_or(ep);
+            let cap = if l == 0 { 2 * self.params.m } else { self.params.m };
+            let selected: Vec<u32> = found.iter().take(cap).map(|&(i, _)| i as u32).collect();
+            self.links[node][l] = selected.clone();
+            for &nbr in &selected {
+                let nbr = nbr as usize;
+                self.links[nbr][l].push(node as u32);
+                if self.links[nbr][l].len() > cap {
+                    self.prune(nbr, l, cap);
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node;
+        }
+    }
+
+    /// Keep the `cap` closest links of `node` at `level`.
+    fn prune(&mut self, node: usize, level: usize, cap: usize) {
+        let base = self.data.row(node).to_vec();
+        let mut scored: Vec<(f64, u32)> = self.links[node][level]
+            .iter()
+            .map(|&v| (self.dist(v as usize, &base), v))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.truncate(cap);
+        self.links[node][level] = scored.into_iter().map(|(_, v)| v).collect();
+    }
+
+    /// Greedy hill-climb to the locally closest node at `level`.
+    fn greedy_closest(&self, q: &[f64], start: usize, level: usize) -> usize {
+        let mut cur = start;
+        let mut cur_d = self.dist(cur, q);
+        loop {
+            let mut improved = false;
+            for &v in &self.links[cur][level] {
+                let d = self.dist(v as usize, q);
+                if d < cur_d {
+                    cur = v as usize;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search at one layer; returns candidates ascending by distance.
+    fn search_layer(&self, q: &[f64], entry: usize, ef: usize, level: usize) -> Vec<(usize, f64)> {
+        let mut visited = vec![false; self.links.len()];
+        visited[entry] = true;
+        let d0 = self.dist(entry, q);
+        let mut frontier = BinaryHeap::new(); // min-heap by distance
+        frontier.push(Near(d0, entry));
+        let mut results: BinaryHeap<Far> = BinaryHeap::new(); // max-heap
+        results.push(Far(d0, entry));
+        while let Some(Near(d, u)) = frontier.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f64::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            if level < self.links[u].len() {
+                for &v in &self.links[u][level] {
+                    let v = v as usize;
+                    if visited[v] {
+                        continue;
+                    }
+                    visited[v] = true;
+                    let dv = self.dist(v, q);
+                    let worst = results.peek().map(|f| f.0).unwrap_or(f64::INFINITY);
+                    if results.len() < ef || dv < worst {
+                        frontier.push(Near(dv, v));
+                        results.push(Far(dv, v));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = results.into_iter().map(|Far(d, i)| (i, d)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out
+    }
+
+    /// Search with an explicit beam width.
+    pub fn knn_with_ef(&self, query: &[f64], k: usize, ef: usize) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.data.ncols(), "query dimension mismatch");
+        let mut ep = self.entry;
+        for l in (1..=self.max_level).rev() {
+            ep = self.greedy_closest(query, ep, l);
+        }
+        let mut found = self.search_layer(query, ep, ef.max(k), 0);
+        found.truncate(k);
+        found
+    }
+}
+
+impl NearestNeighbors for HnswIndex {
+    fn num_points(&self) -> usize {
+        self.data.nrows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.ncols()
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        self.knn_with_ef(query, k, self.params.ef_search)
+    }
+
+    fn knn_of_point(&self, index: usize, k: usize) -> Vec<(usize, f64)> {
+        let q = self.data.row(index).to_vec();
+        let mut found = self.knn_with_ef(&q, k + 1, self.params.ef_search.max(k + 1));
+        found.retain(|&(i, _)| i != index);
+        found.truncate(k);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceKnn;
+    use crate::recall;
+    use sgl_linalg::Rng;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> DenseMatrix {
+        let mut rng = Rng::seed_from_u64(seed);
+        DenseMatrix::from_fn(n, d, |_, _| rng.uniform())
+    }
+
+    #[test]
+    fn exact_on_tiny_sets() {
+        let data = random_data(30, 3, 1);
+        let h = HnswIndex::build(&data, HnswParams::default());
+        let b = BruteForceKnn::new(&data);
+        for i in 0..30 {
+            let hres = h.knn_of_point(i, 5);
+            let bres = b.knn_of_point(i, 5);
+            assert!(recall(&bres, &hres) >= 0.99, "node {i}");
+        }
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        // Low-dimensional manifold-like data, as in SGL's voltage rows.
+        let mut rng = Rng::seed_from_u64(3);
+        let data = DenseMatrix::from_fn(1000, 8, |i, j| {
+            let t = i as f64 / 1000.0;
+            (t * (j + 1) as f64).sin() + 0.01 * rng.standard_normal()
+        });
+        let h = HnswIndex::build(&data, HnswParams::default());
+        let b = BruteForceKnn::new(&data);
+        let mut total = 0.0;
+        let probes = 50;
+        for i in 0..probes {
+            let node = i * 20;
+            total += recall(&b.knn_of_point(node, 10), &h.knn_of_point(node, 10));
+        }
+        let avg = total / probes as f64;
+        assert!(avg >= 0.9, "average recall {avg} too low");
+    }
+
+    #[test]
+    fn results_sorted_and_self_excluded() {
+        let data = random_data(200, 4, 7);
+        let h = HnswIndex::build(&data, HnswParams::default());
+        let res = h.knn_of_point(17, 8);
+        assert!(!res.iter().any(|&(i, _)| i == 17));
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn singleton_index_works() {
+        let data = random_data(1, 2, 9);
+        let h = HnswIndex::build(&data, HnswParams::default());
+        assert_eq!(h.knn(&[0.5, 0.5], 3).len(), 1);
+        assert!(h.knn_of_point(0, 3).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = random_data(300, 5, 11);
+        let a = HnswIndex::build(&data, HnswParams::default());
+        let b = HnswIndex::build(&data, HnswParams::default());
+        for i in [0usize, 100, 299] {
+            assert_eq!(a.knn_of_point(i, 5), b.knn_of_point(i, 5));
+        }
+    }
+}

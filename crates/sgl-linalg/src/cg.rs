@@ -1,0 +1,314 @@
+//! (Preconditioned) conjugate gradients for symmetric positive
+//! (semi-)definite systems.
+//!
+//! Laplacian systems are handled by projecting the right-hand side and all
+//! iterates onto the mean-zero subspace (enable
+//! [`CgOptions::project_mean`]), which is mathematically equivalent to
+//! solving on the orthogonal complement of the null space.
+
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+use crate::vecops;
+
+/// A preconditioner: an approximation of `A⁻¹` applied as `z = M⁻¹ r`.
+pub trait Preconditioner {
+    /// Apply `z ← M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+impl<T: Preconditioner + ?Sized> Preconditioner for &T {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z)
+    }
+}
+
+/// The trivial preconditioner `M = I`.
+#[derive(Debug, Clone, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Jacobi (diagonal) preconditioner `M = diag(A)`.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Build from the matrix diagonal. Zero diagonal entries are treated
+    /// as 1 (no scaling) so the preconditioner stays well-defined.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        JacobiPreconditioner {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for i in 0..r.len() {
+            z[i] = self.inv_diag[i] * r[i];
+        }
+    }
+}
+
+/// Options controlling a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Relative residual tolerance `‖r‖ ≤ rtol · ‖b‖`.
+    pub rtol: f64,
+    /// Absolute residual floor (stops division-by-tiny for near-zero rhs).
+    pub atol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Project iterates and rhs onto the mean-zero subspace (for singular
+    /// Laplacians whose null space is spanned by the constant vector).
+    pub project_mean: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            rtol: 1e-10,
+            atol: 1e-300,
+            max_iter: 10_000,
+            project_mean: false,
+        }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Solve `A x = b` by plain conjugate gradients.
+///
+/// # Errors
+/// Returns [`LinalgError::NotConverged`] if the iteration cap is hit, and
+/// [`LinalgError::DimensionMismatch`] for a wrong-sized `b`.
+pub fn cg_solve<A: LinearOperator>(
+    a: &A,
+    b: &[f64],
+    opts: &CgOptions,
+) -> Result<CgSolution, LinalgError> {
+    pcg_solve(a, &IdentityPreconditioner, b, opts)
+}
+
+/// Solve `A x = b` by preconditioned conjugate gradients.
+///
+/// # Errors
+/// Returns [`LinalgError::NotConverged`] if the iteration cap is hit, and
+/// [`LinalgError::DimensionMismatch`] for a wrong-sized `b`.
+pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    opts: &CgOptions,
+) -> Result<CgSolution, LinalgError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "cg rhs",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    let mut rhs = b.to_vec();
+    if opts.project_mean {
+        vecops::project_out_mean(&mut rhs);
+    }
+    let bnorm = vecops::norm2(&rhs).max(opts.atol);
+
+    let mut x = vec![0.0; n];
+    let mut r = rhs.clone();
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z);
+    if opts.project_mean {
+        vecops::project_out_mean(&mut z);
+    }
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut rel = vecops::norm2(&r) / bnorm;
+    if rel <= opts.rtol {
+        return Ok(CgSolution {
+            x,
+            iterations: 0,
+            relative_residual: rel,
+        });
+    }
+
+    for iter in 1..=opts.max_iter {
+        a.apply(&p, &mut ap);
+        if opts.project_mean {
+            vecops::project_out_mean(&mut ap);
+        }
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Semi-definite breakdown: direction in (numerical) null space.
+            return Err(LinalgError::NotConverged {
+                method: "pcg (indefinite direction)",
+                iterations: iter,
+                residual: rel,
+            });
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        rel = vecops::norm2(&r) / bnorm;
+        if rel <= opts.rtol {
+            if opts.project_mean {
+                vecops::project_out_mean(&mut x);
+            }
+            return Ok(CgSolution {
+                x,
+                iterations: iter,
+                relative_residual: rel,
+            });
+        }
+        m.apply(&r, &mut z);
+        if opts.project_mean {
+            vecops::project_out_mean(&mut z);
+        }
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    Err(LinalgError::NotConverged {
+        method: "pcg",
+        iterations: opts.max_iter,
+        residual: rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ProjectedOperator;
+    use crate::rng::Rng;
+    use crate::sparse::CsrMatrix;
+
+    /// 1-D Poisson (Dirichlet) matrix of order n.
+    fn poisson1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    /// Path-graph Laplacian (singular, null space = constants).
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n - 1 {
+            t.push((i, i, 1.0));
+            t.push((i + 1, i + 1, 1.0));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = poisson1d(50);
+        let mut rng = Rng::seed_from_u64(1);
+        let xtrue = rng.normal_vec(50);
+        let b = a.matvec(&xtrue);
+        let sol = cg_solve(&a, &b, &CgOptions::default()).unwrap();
+        for i in 0..50 {
+            assert!((sol.x[i] - xtrue[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_reduces_iterations() {
+        // Badly scaled diagonal system.
+        let n = 100;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 10.0f64.powi((i % 6) as i32)));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let b = vec![1.0; n];
+        let plain = cg_solve(&a, &b, &CgOptions::default()).unwrap();
+        let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+        let pre = pcg_solve(&a, &m, &b, &CgOptions::default()).unwrap();
+        assert!(pre.iterations < plain.iterations);
+        assert!(pre.iterations <= 2); // diagonal system: exact in one step
+    }
+
+    #[test]
+    fn singular_laplacian_with_projection() {
+        let l = path_laplacian(40);
+        let mut rng = Rng::seed_from_u64(2);
+        let mut b = rng.normal_vec(40);
+        vecops::project_out_mean(&mut b);
+        let opts = CgOptions {
+            project_mean: true,
+            ..CgOptions::default()
+        };
+        let p = ProjectedOperator::new(&l);
+        let sol = pcg_solve(&p, &IdentityPreconditioner, &b, &opts).unwrap();
+        // Residual small and solution mean-zero.
+        let r = l.matvec(&sol.x);
+        let mut diff = vecops::sub(&b, &r);
+        vecops::project_out_mean(&mut diff);
+        assert!(vecops::norm2(&diff) < 1e-7);
+        assert!(vecops::mean(&sol.x).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = poisson1d(5);
+        let sol = cg_solve(&a, &[0.0; 5], &CgOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(vecops::norm2(&sol.x) == 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_errors() {
+        let a = poisson1d(200);
+        let b = vec![1.0; 200];
+        let opts = CgOptions {
+            max_iter: 2,
+            rtol: 1e-14,
+            ..CgOptions::default()
+        };
+        assert!(matches!(
+            cg_solve(&a, &b, &opts),
+            Err(LinalgError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_size_errors() {
+        let a = poisson1d(5);
+        assert!(matches!(
+            cg_solve(&a, &[1.0; 4], &CgOptions::default()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by the fallible routines in this crate.
+
+use std::fmt;
+
+/// Error returned by factorizations and iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A matrix required to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NotConverged {
+        /// Which method failed to converge.
+        method: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm (or other method-specific measure) at exit.
+        residual: f64,
+    },
+    /// Input was structurally invalid (NaN entries, empty block, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NotConverged {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::NotConverged {
+            method: "cg",
+            iterations: 10,
+            residual: 1e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cg"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

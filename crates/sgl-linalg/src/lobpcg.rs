@@ -1,0 +1,436 @@
+//! Locally optimal block preconditioned conjugate gradients (LOBPCG).
+//!
+//! This is the eigensolver behind Step 2 of the SGL loop: it computes the
+//! first `r−1` nontrivial Laplacian eigenpairs of the evolving learned
+//! graph, with the constant vector deflated through an explicit constraint
+//! and a fast Laplacian solver (tree solve or AMG V-cycle) plugged in as
+//! the preconditioner. Each iteration costs a handful of operator
+//! applications and one dense Rayleigh–Ritz of order ≤ 3·block.
+
+use crate::cg::Preconditioner;
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+use crate::qr::orthonormalize_columns;
+use crate::rng::Rng;
+use crate::symeig::SymEig;
+use crate::vecops;
+
+/// Options for a LOBPCG run.
+#[derive(Debug, Clone)]
+pub struct LobpcgOptions {
+    /// Relative residual tolerance: pair `i` is converged when
+    /// `‖A xᵢ − θᵢ xᵢ‖ ≤ tol · max(|θᵢ|, θ_max·1e-3)`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Extra basis vectors carried beyond the requested count (guards the
+    /// targeted pairs against slow convergence of the block edge).
+    pub extra_block: usize,
+    /// Seed for the random initial block.
+    pub seed: u64,
+}
+
+impl Default for LobpcgOptions {
+    fn default() -> Self {
+        LobpcgOptions {
+            tol: 1e-8,
+            max_iter: 500,
+            extra_block: 2,
+            seed: 11,
+        }
+    }
+}
+
+/// Output of [`lobpcg`].
+#[derive(Debug, Clone)]
+pub struct LobpcgResult {
+    /// The `nev` smallest eigenvalues (ascending) in the deflated subspace.
+    pub values: Vec<f64>,
+    /// Matching unit eigenvectors as columns (`n × nev`).
+    pub vectors: DenseMatrix,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norms per returned pair.
+    pub residuals: Vec<f64>,
+}
+
+/// Compute the `nev` smallest eigenpairs of `op` orthogonal to
+/// `constraints`, using `precond` as an (approximate) inverse.
+///
+/// # Errors
+/// Returns [`LinalgError::NotConverged`] when the iteration cap is reached
+/// and [`LinalgError::InvalidInput`] when `nev` exceeds the deflated
+/// dimension.
+pub fn lobpcg<A: LinearOperator, M: Preconditioner>(
+    op: &A,
+    precond: &M,
+    nev: usize,
+    constraints: &[Vec<f64>],
+    opts: &LobpcgOptions,
+) -> Result<LobpcgResult, LinalgError> {
+    lobpcg_with_guess(op, precond, nev, constraints, None, opts)
+}
+
+/// [`lobpcg`] with a warm-start block: columns of `guess` seed the search
+/// subspace (any missing columns are filled randomly). When the operator
+/// changed only slightly since the guess was computed — SGL adds a
+/// handful of edges per iteration — convergence drops to a few steps.
+///
+/// # Errors
+/// See [`lobpcg`].
+pub fn lobpcg_with_guess<A: LinearOperator, M: Preconditioner>(
+    op: &A,
+    precond: &M,
+    nev: usize,
+    constraints: &[Vec<f64>],
+    guess: Option<&DenseMatrix>,
+    opts: &LobpcgOptions,
+) -> Result<LobpcgResult, LinalgError> {
+    let n = op.dim();
+    if nev == 0 {
+        return Ok(LobpcgResult {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(n, 0),
+            iterations: 0,
+            residuals: Vec::new(),
+        });
+    }
+    let usable = n.saturating_sub(constraints.len());
+    if nev > usable {
+        return Err(LinalgError::InvalidInput(format!(
+            "requested {nev} eigenpairs but only {usable} remain after deflation"
+        )));
+    }
+    let block = (nev + opts.extra_block).min(usable);
+
+    // Orthonormal constraint basis.
+    let mut cons: Vec<Vec<f64>> = Vec::new();
+    for c in constraints {
+        let mut v = c.clone();
+        for q in &cons {
+            vecops::orthogonalize_against(q, &mut v);
+        }
+        if vecops::normalize(&mut v) > 1e-12 {
+            cons.push(v);
+        }
+    }
+    let deflate = |m: &mut DenseMatrix| {
+        for j in 0..m.ncols() {
+            let mut col = m.column(j);
+            for c in &cons {
+                vecops::orthogonalize_against(c, &mut col);
+            }
+            m.set_column(j, &col);
+        }
+    };
+
+    // Initial block: warm-start columns first, random fill after.
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let mut x = DenseMatrix::from_fn(n, block, |i, j| match guess {
+        Some(g) if j < g.ncols() => {
+            debug_assert_eq!(g.nrows(), n, "guess row count mismatch");
+            g.get(i, j)
+        }
+        _ => rng.standard_normal(),
+    });
+    deflate(&mut x);
+    x = orthonormalize_columns(&x, 1e-12);
+    while x.ncols() < block {
+        // Degenerate guess columns: top up with fresh random directions.
+        let mut extra = rng.normal_vec(n);
+        for c in &cons {
+            vecops::orthogonalize_against(c, &mut extra);
+        }
+        let mut widened = DenseMatrix::zeros(n, x.ncols() + 1);
+        for j in 0..x.ncols() {
+            widened.set_column(j, &x.column(j));
+        }
+        widened.set_column(x.ncols(), &extra);
+        let reorth = orthonormalize_columns(&widened, 1e-12);
+        if reorth.ncols() <= x.ncols() {
+            return Err(LinalgError::InvalidInput(
+                "initial block lost rank after deflation".into(),
+            ));
+        }
+        x = reorth;
+    }
+
+    let mut p: Option<DenseMatrix> = None;
+    let mut theta = vec![0.0; block];
+    let mut last_resid = vec![f64::INFINITY; nev];
+    // Running estimate of ‖A‖ from the unit basis columns seen so far;
+    // the convergence threshold must scale with it, not with the (often
+    // tiny) block eigenvalues, or the attainable round-off floor
+    // ε·‖A‖ sits above the target and the iteration spins.
+    let mut a_norm = 1e-300f64;
+
+    for iter in 1..=opts.max_iter {
+        let ax = apply_block(op, &x);
+        for j in 0..ax.ncols() {
+            a_norm = a_norm.max(vecops::norm2(&ax.column(j)));
+        }
+        // Rayleigh quotients and residuals R = AX − X·diag(θ).
+        let xtax = x.gram_with(&ax);
+        for j in 0..x.ncols() {
+            theta[j] = xtax.get(j, j);
+        }
+        let mut r = ax.clone();
+        for j in 0..x.ncols() {
+            let mut col = r.column(j);
+            vecops::axpy(-theta[j], &x.column(j), &mut col);
+            r.set_column(j, &col);
+        }
+        // Convergence on the nev targeted pairs, relative to ‖A‖.
+        let mut all_ok = true;
+        for j in 0..nev.min(x.ncols()) {
+            let rn = vecops::norm2(&r.column(j));
+            last_resid[j] = rn;
+            if rn > opts.tol * a_norm.max(theta[j].abs()) {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            let (vals, vecs) = finalize(&x, &theta, nev);
+            return Ok(LobpcgResult {
+                values: vals,
+                vectors: vecs,
+                iterations: iter,
+                residuals: last_resid,
+            });
+        }
+
+        // Preconditioned residuals.
+        let mut w = DenseMatrix::zeros(n, r.ncols());
+        let mut z = vec![0.0; n];
+        for j in 0..r.ncols() {
+            precond.apply(&r.column(j), &mut z);
+            w.set_column(j, &z);
+        }
+        deflate(&mut w);
+
+        // Basis S = [X | W | P], orthonormalized with rank control.
+        let cols_total = x.ncols() + w.ncols() + p.as_ref().map_or(0, |p| p.ncols());
+        let mut s = DenseMatrix::zeros(n, cols_total);
+        let mut jj = 0;
+        for j in 0..x.ncols() {
+            s.set_column(jj, &x.column(j));
+            jj += 1;
+        }
+        for j in 0..w.ncols() {
+            s.set_column(jj, &w.column(j));
+            jj += 1;
+        }
+        if let Some(pm) = &p {
+            for j in 0..pm.ncols() {
+                s.set_column(jj, &pm.column(j));
+                jj += 1;
+            }
+        }
+        let s = orthonormalize_columns(&s, 1e-8);
+        if s.ncols() < block {
+            // Degenerate basis; restart the search directions.
+            p = None;
+            continue;
+        }
+
+        // Rayleigh–Ritz: G = Sᵀ A S.
+        let as_ = apply_block(op, &s);
+        let g = s.gram_with(&as_);
+        let eig = SymEig::compute(&g)?;
+        // New X = S · C_lowest.
+        let keep = block.min(s.ncols());
+        let c = sub_columns(&eig.vectors, keep);
+        let x_new = s.matmul(&c);
+
+        // Difference-based conjugate directions: P = X_new − X (XᵀX_new).
+        let xtxn = x.gram_with(&x_new);
+        let mut p_new = x_new.clone();
+        // p_new -= X * xtxn
+        let correction = x.matmul(&xtxn);
+        p_new.add_scaled(-1.0, &correction);
+        let p_new = orthonormalize_columns(&p_new, 1e-8);
+        p = if p_new.ncols() > 0 { Some(p_new) } else { None };
+
+        x = orthonormalize_columns(&x_new, 1e-12);
+        if x.ncols() < block {
+            return Err(LinalgError::NotConverged {
+                method: "lobpcg (block rank collapse)",
+                iterations: iter,
+                residual: last_resid.iter().fold(0.0f64, |a, &b| a.max(b)),
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        method: "lobpcg",
+        iterations: opts.max_iter,
+        residual: last_resid.iter().fold(0.0f64, |a, &b| a.max(b)),
+    })
+}
+
+fn apply_block<A: LinearOperator>(op: &A, x: &DenseMatrix) -> DenseMatrix {
+    let n = x.nrows();
+    let mut y = DenseMatrix::zeros(n, x.ncols());
+    let mut out = vec![0.0; n];
+    for j in 0..x.ncols() {
+        op.apply(&x.column(j), &mut out);
+        y.set_column(j, &out);
+    }
+    y
+}
+
+fn sub_columns(m: &DenseMatrix, k: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(m.nrows(), k, |i, j| m.get(i, j))
+}
+
+/// Sort the block by Rayleigh quotient and return the first `nev` pairs.
+fn finalize(x: &DenseMatrix, theta: &[f64], nev: usize) -> (Vec<f64>, DenseMatrix) {
+    let mut order: Vec<usize> = (0..x.ncols()).collect();
+    order.sort_by(|&a, &b| theta[a].partial_cmp(&theta[b]).unwrap());
+    let vals: Vec<f64> = order.iter().take(nev).map(|&j| theta[j]).collect();
+    let cols: Vec<Vec<f64>> = order.iter().take(nev).map(|&j| x.column(j)).collect();
+    (vals, DenseMatrix::from_columns(&cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{IdentityPreconditioner, JacobiPreconditioner};
+    use crate::sparse::CsrMatrix;
+    use crate::symeig::SymEig;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n - 1 {
+            t.push((i, i, 1.0));
+            t.push((i + 1, i + 1, 1.0));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    fn grid_laplacian(nx: usize, ny: usize) -> CsrMatrix {
+        let id = |i: usize, j: usize| i * ny + j;
+        let n = nx * ny;
+        let mut t = Vec::new();
+        let mut add = |a: usize, b: usize| {
+            t.push((a, a, 1.0));
+            t.push((b, b, 1.0));
+            t.push((a, b, -1.0));
+            t.push((b, a, -1.0));
+        };
+        for i in 0..nx {
+            for j in 0..ny {
+                if i + 1 < nx {
+                    add(id(i, j), id(i + 1, j));
+                }
+                if j + 1 < ny {
+                    add(id(i, j), id(i, j + 1));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn path_smallest_nontrivial() {
+        let n = 40;
+        let l = path_laplacian(n);
+        let ones = vec![1.0; n];
+        let res = lobpcg(
+            &l,
+            &IdentityPreconditioner,
+            3,
+            &[ones],
+            &LobpcgOptions::default(),
+        )
+        .unwrap();
+        for (k, &lam) in res.values.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / n as f64).cos();
+            assert!(
+                (lam - expect).abs() < 1e-6,
+                "k={k}: got {lam} want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_matches_dense_eig() {
+        let l = grid_laplacian(6, 5);
+        let dense = SymEig::compute(&l.to_dense()).unwrap();
+        let ones = vec![1.0; 30];
+        let res = lobpcg(
+            &l,
+            &JacobiPreconditioner::from_diagonal(&l.diagonal()),
+            4,
+            &[ones],
+            &LobpcgOptions::default(),
+        )
+        .unwrap();
+        for k in 0..4 {
+            assert!(
+                (res.values[k] - dense.values[k + 1]).abs() < 1e-6,
+                "k={k}: {} vs {}",
+                res.values[k],
+                dense.values[k + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn vectors_are_orthonormal_and_deflated() {
+        let n = 30;
+        let l = path_laplacian(n);
+        let ones = vec![1.0; n];
+        let res = lobpcg(
+            &l,
+            &IdentityPreconditioner,
+            3,
+            &[ones.clone()],
+            &LobpcgOptions::default(),
+        )
+        .unwrap();
+        let g = res.vectors.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g.get(i, j) - want).abs() < 1e-6);
+            }
+            // Orthogonal to the constant vector.
+            let dot1 = vecops::dot(&res.vectors.column(i), &ones);
+            assert!(dot1.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_nev_is_empty() {
+        let l = path_laplacian(5);
+        let res = lobpcg(
+            &l,
+            &IdentityPreconditioner,
+            0,
+            &[],
+            &LobpcgOptions::default(),
+        )
+        .unwrap();
+        assert!(res.values.is_empty());
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn excessive_nev_is_invalid() {
+        let l = path_laplacian(4);
+        let ones = vec![1.0; 4];
+        assert!(matches!(
+            lobpcg(
+                &l,
+                &IdentityPreconditioner,
+                4,
+                &[ones],
+                &LobpcgOptions::default()
+            ),
+            Err(LinalgError::InvalidInput(_))
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! The [`LinearOperator`] abstraction and common operator combinators.
+//!
+//! Iterative methods in this crate (CG, LOBPCG, Lanczos) only ever need
+//! `y = A x`, so they accept any `LinearOperator`. Graph Laplacians can be
+//! applied matrix-free, shifted (`A + σI`), or restricted to the mean-zero
+//! subspace without materializing anything.
+
+use crate::vecops;
+
+/// A square linear operator applied via matrix-vector products.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Compute `y ← A x`.
+    ///
+    /// Implementations may assume `x.len() == y.len() == self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocating wrapper around [`LinearOperator::apply`].
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}
+
+/// Diagonal operator `y = diag(d) x`.
+///
+/// # Example
+/// ```
+/// use sgl_linalg::{DiagonalOperator, LinearOperator};
+/// let d = DiagonalOperator::new(vec![1.0, 2.0]);
+/// assert_eq!(d.apply_vec(&[3.0, 4.0]), vec![3.0, 8.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiagonalOperator {
+    diag: Vec<f64>,
+}
+
+impl DiagonalOperator {
+    /// Wrap a diagonal.
+    pub fn new(diag: Vec<f64>) -> Self {
+        DiagonalOperator { diag }
+    }
+
+    /// Borrow the diagonal entries.
+    pub fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.diag.len() {
+            y[i] = self.diag[i] * x[i];
+        }
+    }
+}
+
+/// Shifted operator `A + σ I`.
+///
+/// SGL uses this to turn a singular Laplacian `L` into the strictly
+/// positive-definite precision matrix `Θ = L + I/σ²` of eq. (2).
+#[derive(Debug, Clone)]
+pub struct ShiftedOperator<A> {
+    inner: A,
+    shift: f64,
+}
+
+impl<A: LinearOperator> ShiftedOperator<A> {
+    /// `A + shift · I`.
+    pub fn new(inner: A, shift: f64) -> Self {
+        ShiftedOperator { inner, shift }
+    }
+
+    /// The shift σ.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// Recover the wrapped operator.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ShiftedOperator<A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        vecops::axpy(self.shift, x, y);
+    }
+}
+
+/// Operator restricted to the mean-zero subspace: `y = P A P x` with
+/// `P = I − (1/n) 11ᵀ`.
+///
+/// Graph Laplacians are singular with null vector **1**; CG on a projected
+/// operator stays well-defined and returns the minimum-norm (mean-zero)
+/// solution.
+#[derive(Debug, Clone)]
+pub struct ProjectedOperator<A> {
+    inner: A,
+}
+
+impl<A: LinearOperator> ProjectedOperator<A> {
+    /// Wrap an operator with mean-projection on both sides.
+    pub fn new(inner: A) -> Self {
+        ProjectedOperator { inner }
+    }
+
+    /// Recover the wrapped operator.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ProjectedOperator<A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut xp = x.to_vec();
+        vecops::project_out_mean(&mut xp);
+        self.inner.apply(&xp, y);
+        vecops::project_out_mean(y);
+    }
+}
+
+/// Operator defined by a closure (handy in tests and for composing solves).
+pub struct FnOperator<F> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64])> FnOperator<F> {
+    /// Wrap `f(x, y)` computing `y = A x` for an `n`-dimensional operator.
+    pub fn new(n: usize, f: F) -> Self {
+        FnOperator { n, f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64])> LinearOperator for FnOperator<F> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (self.f)(x, y)
+    }
+}
+
+impl<F> std::fmt::Debug for FnOperator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnOperator").field("n", &self.n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    #[test]
+    fn shifted_adds_identity() {
+        let a = CsrMatrix::identity(3);
+        let s = ShiftedOperator::new(&a, 2.0);
+        assert_eq!(s.apply_vec(&[1.0, 2.0, 3.0]), vec![3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn projected_kills_constant_component() {
+        let a = CsrMatrix::identity(4);
+        let p = ProjectedOperator::new(&a);
+        let y = p.apply_vec(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(vecops::norm2(&y) < 1e-15);
+    }
+
+    #[test]
+    fn projected_output_is_mean_zero() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 5.0)]);
+        let p = ProjectedOperator::new(&a);
+        let y = p.apply_vec(&[1.0, -1.0]);
+        assert!(vecops::mean(&y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fn_operator_applies_closure() {
+        let op = FnOperator::new(2, |x: &[f64], y: &mut [f64]| {
+            y[0] = x[1];
+            y[1] = x[0];
+        });
+        assert_eq!(op.apply_vec(&[1.0, 2.0]), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let a = CsrMatrix::identity(2);
+        let r: &CsrMatrix = &a;
+        assert_eq!(LinearOperator::dim(&r), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! Compressed sparse row (CSR) matrices.
+
+use crate::dense::DenseMatrix;
+use crate::operator::LinearOperator;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Duplicate entries passed to [`CsrMatrix::from_triplets`] are summed,
+/// matching the usual assembly semantics for finite-element / graph
+/// Laplacian matrices.
+///
+/// # Example
+/// ```
+/// use sgl_linalg::CsrMatrix;
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+/// assert_eq!(a.nnz(), 3);
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from `(row, col, value)` triplets; duplicates are summed,
+    /// explicit zeros are kept out of the structure.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < nrows && c < ncols, "from_triplets: index out of bounds");
+        }
+        // Count entries per row.
+        let mut counts = vec![0usize; nrows];
+        for &(r, _, _) in triplets {
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for i in 0..nrows {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0.0; triplets.len()];
+        let mut next = row_ptr.clone();
+        for &(r, c, v) in triplets {
+            let p = next[r];
+            col_idx[p] = c;
+            values[p] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_col = Vec::with_capacity(triplets.len());
+        let mut out_val = Vec::with_capacity(triplets.len());
+        let mut out_ptr = vec![0usize; nrows + 1];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..nrows {
+            scratch.clear();
+            for p in row_ptr[r]..row_ptr[r + 1] {
+                scratch.push((col_idx[p], values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    out_col.push(c);
+                    out_val.push(v);
+                }
+            }
+            out_ptr[r + 1] = out_col.len();
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: out_ptr,
+            col_idx: out_col,
+            values: out_val,
+        }
+    }
+
+    /// An all-zero matrix with the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal as a vector (length `min(nrows, ncols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// `y = A x` into a fresh vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y ← A x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics on any length mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut s = 0.0;
+            for p in lo..hi {
+                s += self.values[p] * x[self.col_idx[p]];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// `y = Aᵀ x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t: x length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for p in lo..hi {
+                y[self.col_idx[p]] += self.values[p] * xi;
+            }
+        }
+        y
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    ///
+    /// # Panics
+    /// Panics unless the matrix is square and `x` has matching length.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.nrows, self.ncols, "quadratic_form: must be square");
+        let ax = self.matvec(x);
+        crate::vecops::dot(x, &ax)
+    }
+
+    /// Apply to every column of a (row-major) dense matrix: `Y = A X`.
+    pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(x.nrows(), self.ncols, "matmul_dense: shape mismatch");
+        let mut y = DenseMatrix::zeros(self.nrows, x.ncols());
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for p in lo..hi {
+                let v = self.values[p];
+                let xr = x.row(self.col_idx[p]);
+                crate::vecops::axpy(v, xr, y.row_mut(i));
+            }
+        }
+        y
+    }
+
+    /// Transpose (explicit).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut trip = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                trip.push((*c, i, *v));
+            }
+        }
+        CsrMatrix::from_triplets(self.ncols, self.nrows, &trip)
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij − A_ji|` (0 for symmetric).
+    pub fn symmetry_defect(&self) -> f64 {
+        let t = self.transpose();
+        let mut worst = 0.0f64;
+        for i in 0..self.nrows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = t.row(i);
+            // Merge-compare the two sorted rows.
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ca.len() || q < cb.len() {
+                let (cva, cvb) = (
+                    ca.get(p).copied().unwrap_or(usize::MAX),
+                    cb.get(q).copied().unwrap_or(usize::MAX),
+                );
+                if cva == cvb {
+                    worst = worst.max((va[p] - vb[q]).abs());
+                    p += 1;
+                    q += 1;
+                } else if cva < cvb {
+                    worst = worst.max(va[p].abs());
+                    p += 1;
+                } else {
+                    worst = worst.max(vb[q].abs());
+                    q += 1;
+                }
+            }
+        }
+        worst
+    }
+
+    /// Densify (small matrices only; used by tests and the dense baseline).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                m.set(i, *c, *v);
+            }
+        }
+        m
+    }
+
+    /// Iterate over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(move |(c, v)| (i, *c, *v))
+                .collect::<Vec<_>>()
+        })
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(
+            self.nrows, self.ncols,
+            "LinearOperator requires a square matrix"
+        );
+        self.nrows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0)]);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_sum_duplicates_are_dropped() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, -1.0), (1, 0, 2.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let d = a.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), d.matvec(&x));
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+        let x = [1.0, 2.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let a = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        let (cols, _) = a.row(0);
+        assert_eq!(cols, &[0, 2, 3]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn symmetry_defect_zero_for_symmetric() {
+        assert_eq!(sample().symmetry_defect(), 0.0);
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert_eq!(asym.symmetry_defect(), 1.0);
+    }
+
+    #[test]
+    fn quadratic_form_matches_manual() {
+        let a = sample();
+        // xᵀAx with x = (1,1,1): Laplacian-like, equals 2 (boundary terms).
+        let q = a.quadratic_form(&[1.0, 1.0, 1.0]);
+        assert_eq!(q, 2.0);
+    }
+
+    #[test]
+    fn matmul_dense_matches_columnwise() {
+        let a = sample();
+        let x = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let y = a.matmul_dense(&x);
+        for j in 0..2 {
+            let col = x.column(j);
+            assert_eq!(y.column(j), a.matvec(&col));
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let a = sample();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), 7);
+        assert!(entries.contains(&(1, 0, -1.0)));
+    }
+}

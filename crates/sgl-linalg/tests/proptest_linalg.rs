@@ -1,0 +1,182 @@
+//! Property-based tests for the dense/sparse kernels.
+
+use proptest::prelude::*;
+use sgl_linalg::cg::{cg_solve, CgOptions};
+use sgl_linalg::qr::orthonormalize_columns;
+use sgl_linalg::{vecops, CholeskyFactor, CsrMatrix, DenseMatrix, QrFactor, Rng, SymEig};
+
+fn random_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    DenseMatrix::from_fn(m, n, |_, _| rng.standard_normal())
+}
+
+fn random_spd(n: usize, seed: u64) -> DenseMatrix {
+    let b = random_matrix(n + 2, n, seed);
+    let mut g = b.gram();
+    for i in 0..n {
+        g.set(i, i, g.get(i, i) + 0.1);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal(
+        m in 3usize..20,
+        n in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(m >= n);
+        let a = random_matrix(m, n, seed);
+        let f = QrFactor::compute(&a).unwrap();
+        let q = f.thin_q();
+        // QᵀQ = I
+        let g = q.gram();
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((g.get(i, j) - want).abs() < 1e-10);
+            }
+        }
+        // QR = A
+        let qr = q.matmul(&f.r());
+        let mut d = qr;
+        d.add_scaled(-1.0, &a);
+        prop_assert!(d.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn symeig_reconstructs_matrix(
+        n in 1usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let raw = random_matrix(n, n, seed);
+        let a = DenseMatrix::from_fn(n, n, |i, j| 0.5 * (raw.get(i, j) + raw.get(j, i)));
+        let eig = SymEig::compute(&a).unwrap();
+        // V diag(λ) Vᵀ == A
+        let mut recon = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            let v = eig.vectors.column(k);
+            for i in 0..n {
+                for j in 0..n {
+                    recon.set(i, j, recon.get(i, j) + eig.values[k] * v[i] * v[j]);
+                }
+            }
+        }
+        let mut d = recon;
+        d.add_scaled(-1.0, &a);
+        prop_assert!(d.max_abs() < 1e-8 * (n as f64 + 1.0));
+        // Eigenvalues ascending.
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_has_zero_residual(
+        n in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let a = random_spd(n, seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xF00);
+        let b = rng.normal_vec(n);
+        let x = CholeskyFactor::compute(&a).unwrap().solve(&b);
+        let ax = a.matvec(&x);
+        for i in 0..n {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        n in 1usize..15,
+        density in 0.05f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut trips = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if rng.uniform() < density {
+                    trips.push((i, j, rng.standard_normal()));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trips);
+        let d = a.to_dense();
+        let x = rng.normal_vec(n);
+        let ya = a.matvec(&x);
+        let yd = d.matvec(&x);
+        for i in 0..n {
+            prop_assert!((ya[i] - yd[i]).abs() < 1e-12);
+        }
+        // Transpose consistency.
+        let ta = a.transpose().matvec(&x);
+        let td = d.transpose().matvec(&x);
+        for i in 0..n {
+            prop_assert!((ta[i] - td[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cg_solves_random_spd(
+        n in 2usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let a_dense = random_spd(n, seed);
+        let mut trips = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                trips.push((i, j, a_dense.get(i, j)));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trips);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xBAA);
+        let xtrue = rng.normal_vec(n);
+        let b = a.matvec(&xtrue);
+        let sol = cg_solve(&a, &b, &CgOptions { rtol: 1e-12, ..CgOptions::default() }).unwrap();
+        for i in 0..n {
+            prop_assert!((sol.x[i] - xtrue[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn orthonormalize_output_is_orthonormal_span_preserving(
+        m in 4usize..20,
+        n in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(m > n);
+        let a = random_matrix(m, n, seed);
+        let q = orthonormalize_columns(&a, 1e-10);
+        // Random Gaussian columns are a.s. full rank.
+        prop_assert_eq!(q.ncols(), n);
+        let g = q.gram();
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((g.get(i, j) - want).abs() < 1e-9);
+            }
+        }
+        // Span preserved: every original column is reproduced by Q Qᵀ a.
+        for j in 0..n {
+            let col = a.column(j);
+            let proj = q.matvec(&q.matvec_t(&col));
+            let d = vecops::sub(&proj, &col);
+            prop_assert!(vecops::norm2(&d) < 1e-8 * vecops::norm2(&col).max(1.0));
+        }
+    }
+
+    #[test]
+    fn rng_uniform_bounds_and_determinism(seed in 0u64..10_000) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let u = a.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert_eq!(u, b.uniform());
+        }
+    }
+}

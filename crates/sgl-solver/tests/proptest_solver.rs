@@ -1,0 +1,138 @@
+//! Property-based tests for the Laplacian solvers.
+
+use proptest::prelude::*;
+use sgl_graph::laplacian::laplacian_csr;
+use sgl_graph::Graph;
+use sgl_linalg::{vecops, Rng};
+use sgl_solver::{
+    AmgHierarchy, AmgOptions, LaplacianSolver, SolverMethod, SolverOptions, TreeSolver,
+};
+
+fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        let u = rng.below(v);
+        g.add_edge(u, v, 10f64.powf(rng.uniform_in(-2.0, 2.0)));
+    }
+    g
+}
+
+fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut g = random_tree(n, seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x77);
+    let mut added = 0;
+    let mut tries = 0;
+    while added < extra && tries < 20 * extra + 20 {
+        tries += 1;
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v, 10f64.powf(rng.uniform_in(-2.0, 2.0)));
+            added += 1;
+        }
+    }
+    g
+}
+
+fn mean_zero(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = rng.normal_vec(n);
+    vecops::project_out_mean(&mut b);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_solver_is_exact_on_random_trees(
+        n in 2usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let tree = random_tree(n, seed);
+        let b = mean_zero(n, seed ^ 1);
+        let x = TreeSolver::new(&tree).solve(&b);
+        let l = laplacian_csr(&tree);
+        let lx = l.matvec(&x);
+        for i in 0..n {
+            prop_assert!(
+                (lx[i] - b[i]).abs() < 1e-8 * vecops::norm2(&b).max(1.0),
+                "residual at {i}"
+            );
+        }
+        prop_assert!(vecops::mean(&x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcg_backends_solve_random_connected_graphs(
+        n in 4usize..30,
+        extra in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let b = mean_zero(n, seed ^ 2);
+        let l = laplacian_csr(&g);
+        for method in [SolverMethod::TreePcg, SolverMethod::AmgPcg, SolverMethod::JacobiPcg] {
+            let s = LaplacianSolver::new(
+                &g,
+                SolverOptions { method, ..SolverOptions::default() },
+            )
+            .unwrap();
+            let x = s.solve(&b).unwrap();
+            let lx = l.matvec(&x);
+            let mut r = vecops::sub(&b, &lx);
+            vecops::project_out_mean(&mut r);
+            prop_assert!(
+                vecops::norm2(&r) / vecops::norm2(&b).max(1e-300) < 1e-7,
+                "{method:?} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn amg_vcycle_is_a_valid_pcg_preconditioner(
+        n in 30usize..120,
+        extra in 10usize..60,
+        seed in 0u64..10_000,
+    ) {
+        // As a PCG preconditioner the V-cycle must act like an SPD
+        // operator on the mean-zero subspace: symmetric bilinear form and
+        // positive energy. (A standalone residual-contraction guarantee
+        // is NOT claimed for unsmoothed aggregation on arbitrary weighted
+        // graphs — PCG supplies the convergence.)
+        let g = random_connected(n, extra, seed);
+        let h = AmgHierarchy::build(&g, &AmgOptions::default());
+        let a = mean_zero(n, seed ^ 3);
+        let b = mean_zero(n, seed ^ 4);
+        let ma = h.v_cycle(&a);
+        let mb = h.v_cycle(&b);
+        let scale = vecops::norm2(&a) * vecops::norm2(&mb)
+            + vecops::norm2(&b) * vecops::norm2(&ma);
+        prop_assert!(
+            (vecops::dot(&a, &mb) - vecops::dot(&b, &ma)).abs() < 1e-9 * scale.max(1e-300),
+            "V-cycle not symmetric"
+        );
+        prop_assert!(vecops::dot(&a, &ma) > 0.0, "V-cycle not positive");
+        prop_assert!(vecops::dot(&b, &mb) > 0.0, "V-cycle not positive");
+    }
+
+    #[test]
+    fn solutions_respect_superposition(
+        n in 4usize..25,
+        seed in 0u64..10_000,
+    ) {
+        // L⁺ is linear: solve(a + b) == solve(a) + solve(b).
+        let g = random_connected(n, 5, seed);
+        let s = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
+        let b1 = mean_zero(n, seed ^ 4);
+        let b2 = mean_zero(n, seed ^ 5);
+        let sum: Vec<f64> = b1.iter().zip(&b2).map(|(a, b)| a + b).collect();
+        let x1 = s.solve(&b1).unwrap();
+        let x2 = s.solve(&b2).unwrap();
+        let xs = s.solve(&sum).unwrap();
+        for i in 0..n {
+            prop_assert!((xs[i] - x1[i] - x2[i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! SGL — Spectral Graph Learning from Measurements (DAC 2021).
+//!
+//! Facade crate re-exporting the whole reproduction workspace. The primary
+//! entry point is [`sgl_core::Sgl`]; everything else is substrate:
+//!
+//! * [`sgl_linalg`] — dense/sparse linear algebra, eigensolvers, CG, PRNG.
+//! * [`sgl_graph`] — resistor-network graphs, Laplacians, spanning trees.
+//! * [`sgl_solver`] — fast Laplacian solvers (tree solve, PCG, AMG).
+//! * [`sgl_knn`] — kNN graph construction (brute force and HNSW).
+//! * [`sgl_datasets`] — synthetic meshes and circuit-style test cases.
+//! * [`sgl_core`] — the SGL algorithm itself.
+//! * [`sgl_baseline`] — kNN and dense graphical-Lasso-style baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sgl::prelude::*;
+//!
+//! // Ground-truth resistor network: a small 2-D mesh.
+//! let truth = sgl_datasets::grid2d(8, 8);
+//! // Simulate voltage/current measurements on it.
+//! let meas = Measurements::generate(&truth, 20, 42).unwrap();
+//! // Learn the network back from measurements alone.
+//! let result = Sgl::new(SglConfig::default()).learn(&meas).unwrap();
+//! assert!(result.graph.num_nodes() == truth.num_nodes());
+//! ```
+
+pub use sgl_baseline;
+pub use sgl_core;
+pub use sgl_datasets;
+pub use sgl_graph;
+pub use sgl_knn;
+pub use sgl_linalg;
+pub use sgl_solver;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use sgl_core::{LearnResult, Measurements, Sgl, SglConfig};
+    pub use sgl_graph::Graph;
+}

@@ -1,0 +1,104 @@
+//! Sample-complexity claims of §II.D: the Johnson–Lindenstrauss
+//! measurement construction preserves every effective resistance within
+//! `(1 ± ε)`, and the learned graphs preserve effective-resistance
+//! structure (Fig. 7).
+
+use sgl::prelude::*;
+use sgl_core::{
+    pairwise_effective_resistances, sample_node_pairs, ResistanceSketch,
+};
+use sgl_linalg::vecops;
+
+#[test]
+fn jl_measurements_preserve_effective_resistances() {
+    // Eq. 18 at ε = 0.5 on a small mesh: M = ⌈24 ln N / ε²⌉ random
+    // projections must sandwich every sampled pair's resistance.
+    let truth = sgl_datasets::grid2d(8, 8);
+    let n = truth.num_nodes();
+    let eps = 0.5;
+    let m = Measurements::jl_sample_count(n, eps);
+    let meas = Measurements::generate_jl(&truth, m, 1).unwrap();
+
+    let pairs = sample_node_pairs(n, 40, 2);
+    let exact = pairwise_effective_resistances(&truth, &pairs).unwrap();
+    for (k, &(s, t)) in pairs.iter().enumerate() {
+        let est = meas.data_distance_sq(s, t);
+        let lo = (1.0 - eps) * exact[k];
+        let hi = (1.0 + eps) * exact[k];
+        assert!(
+            est >= lo && est <= hi,
+            "pair ({s},{t}): estimate {est} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn jl_estimate_tightens_with_more_samples() {
+    let truth = sgl_datasets::grid2d(7, 7);
+    let pairs = sample_node_pairs(49, 30, 3);
+    let exact = pairwise_effective_resistances(&truth, &pairs).unwrap();
+    let mut errors = Vec::new();
+    for m in [20usize, 200, 2000] {
+        let meas = Measurements::generate_jl(&truth, m, 4).unwrap();
+        let err: f64 = pairs
+            .iter()
+            .enumerate()
+            .map(|(k, &(s, t))| (meas.data_distance_sq(s, t) - exact[k]).abs() / exact[k])
+            .sum::<f64>()
+            / pairs.len() as f64;
+        errors.push(err);
+    }
+    assert!(
+        errors[2] < errors[0],
+        "error should shrink with samples: {errors:?}"
+    );
+    assert!(errors[2] < 0.1, "2000 samples should be accurate: {errors:?}");
+}
+
+#[test]
+fn resistance_sketch_matches_exact_batch() {
+    let truth = sgl_datasets::circuit_grid(12, 12, 1.7, 5);
+    let pairs = sample_node_pairs(truth.num_nodes(), 25, 6);
+    let exact = pairwise_effective_resistances(&truth, &pairs).unwrap();
+    let sketch = ResistanceSketch::build(&truth, 800, 7).unwrap();
+    let est: Vec<f64> = pairs.iter().map(|&(s, t)| sketch.estimate(s, t)).collect();
+    assert!(
+        vecops::pearson(&exact, &est) > 0.98,
+        "sketch correlation too low"
+    );
+}
+
+#[test]
+fn learned_graph_preserves_effective_resistances() {
+    // The Fig. 7 claim in miniature: resistances on the learned graph
+    // correlate strongly with the original's.
+    let truth = sgl_datasets::grid2d(13, 13);
+    let meas = Measurements::generate(&truth, 40, 8).unwrap();
+    let result = Sgl::new(SglConfig::default().with_tol(1e-8).with_max_iterations(120))
+        .learn(&meas)
+        .unwrap();
+    let pairs = sample_node_pairs(truth.num_nodes(), 60, 9);
+    let r_true = pairwise_effective_resistances(&truth, &pairs).unwrap();
+    let r_learned = pairwise_effective_resistances(&result.graph, &pairs).unwrap();
+    let corr = vecops::pearson(&r_true, &r_learned);
+    assert!(corr > 0.85, "ER correlation {corr}");
+}
+
+#[test]
+fn gaussian_measurement_distances_track_resistances() {
+    // Even the plain Gaussian measurement protocol (§III.A) produces
+    // row distances correlated with effective resistance — the property
+    // the kNN weighting (eq. 15) relies on.
+    let truth = sgl_datasets::grid2d(9, 9);
+    let meas = Measurements::generate(&truth, 200, 10).unwrap();
+    let pairs = sample_node_pairs(81, 40, 11);
+    let exact = pairwise_effective_resistances(&truth, &pairs).unwrap();
+    let dists: Vec<f64> = pairs
+        .iter()
+        .map(|&(s, t)| meas.data_distance_sq(s, t))
+        .collect();
+    assert!(
+        vecops::pearson(&exact, &dists) > 0.9,
+        "distance/resistance correlation too low"
+    );
+}
