@@ -50,6 +50,9 @@ fn main() {
         result.converged,
         result.trace.len()
     );
-    println!("learned density: {:.3} (paper learns near-tree densities)", result.density());
+    println!(
+        "learned density: {:.3} (paper learns near-tree densities)",
+        result.density()
+    );
     println!("series written to {}", csv.display());
 }

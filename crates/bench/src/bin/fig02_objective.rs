@@ -51,7 +51,7 @@ fn main() {
         if i % stride != 0 && i != last {
             continue;
         }
-        let snap = result.graph_at_iteration(i);
+        let snap = result.graph_at_iteration(i).expect("trace index in range");
         let f = objective(&snap, &meas, &obj_opts).expect("snapshot objective");
         table.row(&[
             rec.iteration.to_string(),
@@ -65,7 +65,9 @@ fn main() {
 
     let f_sgl_scaled = objective(&result.graph, &meas, &obj_opts).expect("final objective");
     let f_sgl_unscaled = objective(
-        &result.graph_at_iteration(result.trace.len() - 1),
+        &result
+            .graph_at_iteration(result.trace.len() - 1)
+            .expect("trace index in range"),
         &meas,
         &obj_opts,
     )

@@ -8,9 +8,7 @@
 
 use sgl_baseline::knn_baseline;
 use sgl_bench::{banner, sci, Args, Table};
-use sgl_core::{
-    smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod,
-};
+use sgl_core::{smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod};
 use sgl_datasets::TestCase;
 use sgl_linalg::vecops::pearson;
 
@@ -32,9 +30,13 @@ fn main() {
     );
 
     let meas = Measurements::generate(&truth, m, 7).expect("measurements");
-    let sgl = Sgl::new(SglConfig::default().with_tol(1e-12).with_max_iterations(200))
-        .learn(&meas)
-        .expect("learning");
+    let sgl = Sgl::new(
+        SglConfig::default()
+            .with_tol(1e-12)
+            .with_max_iterations(200),
+    )
+    .learn(&meas)
+    .expect("learning");
     let (knn, _) = knn_baseline(&meas, 5).expect("5NN baseline");
 
     let method = SpectrumMethod::ShiftInvert;
@@ -61,11 +63,7 @@ fn main() {
         pearson(&true_eigs, &knn_eigs)
     );
     let rel = |a: &[f64], b: &[f64]| {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (y - x).abs() / x)
-            .sum::<f64>()
-            / a.len() as f64
+        a.iter().zip(b).map(|(x, y)| (y - x).abs() / x).sum::<f64>() / a.len() as f64
     };
     println!(
         "mean relative eigenvalue error: SGL {:.3}, 5NN {:.3}",

@@ -47,9 +47,13 @@ fn main() {
     for case in cases {
         let truth = case.generate_scaled(scale, 11);
         let meas = Measurements::generate(&truth, m, 7).expect("measurements");
-        let result = Sgl::new(SglConfig::default().with_tol(1e-12).with_max_iterations(200))
-            .learn(&meas)
-            .expect("learning");
+        let result = Sgl::new(
+            SglConfig::default()
+                .with_tol(1e-12)
+                .with_max_iterations(200),
+        )
+        .learn(&meas)
+        .expect("learning");
         let pairs = sample_node_pairs(truth.num_nodes(), num_pairs, 13);
         let orig = pairwise_effective_resistances(&truth, &pairs).expect("original ER");
         let learned = pairwise_effective_resistances(&result.graph, &pairs).expect("learned ER");

@@ -30,10 +30,11 @@ fn main() {
     );
 
     let meas = Measurements::generate(&truth, m, 7).expect("measurements");
-    let config = SglConfig::default().with_tol(1e-12).with_max_iterations(150);
+    let config = SglConfig::default()
+        .with_tol(1e-12)
+        .with_max_iterations(150);
     let method = SpectrumMethod::ShiftInvert;
-    let true_eigs =
-        smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
+    let true_eigs = smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
 
     let mut summary = Table::new(&[
         "fraction",

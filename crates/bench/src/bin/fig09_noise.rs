@@ -7,9 +7,7 @@
 //! Usage: `fig09_noise [--scale 0.25] [--m 50] [--eigs 25] [--quick]`
 
 use sgl_bench::{banner, fix, sci, Args, Table};
-use sgl_core::{
-    smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod,
-};
+use sgl_core::{smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod};
 use sgl_datasets::grid2d;
 use sgl_linalg::vecops::pearson;
 
@@ -32,9 +30,10 @@ fn main() {
 
     let clean = Measurements::generate(&truth, m, 7).expect("measurements");
     let method = SpectrumMethod::ShiftInvert;
-    let true_eigs =
-        smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
-    let config = SglConfig::default().with_tol(1e-12).with_max_iterations(200);
+    let true_eigs = smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
+    let config = SglConfig::default()
+        .with_tol(1e-12)
+        .with_max_iterations(200);
 
     let mut summary = Table::new(&["noise_pct", "density", "corr_coef", "mean_rel_err"]);
     for zeta in [0.0, 0.1, 0.25, 0.5] {

@@ -7,9 +7,7 @@
 //! Usage: `fig10_samples [--scale 0.15] [--eigs 25] [--quick]`
 
 use sgl_bench::{banner, fix, sci, Args, Table};
-use sgl_core::{
-    smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod,
-};
+use sgl_core::{smallest_nonzero_eigenvalues, Measurements, Sgl, SglConfig, SpectrumMethod};
 use sgl_datasets::TestCase;
 use sgl_linalg::vecops::pearson;
 
@@ -28,9 +26,10 @@ fn main() {
     );
 
     let method = SpectrumMethod::ShiftInvert;
-    let true_eigs =
-        smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
-    let config = SglConfig::default().with_tol(1e-12).with_max_iterations(200);
+    let true_eigs = smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
+    let config = SglConfig::default()
+        .with_tol(1e-12)
+        .with_max_iterations(200);
 
     let mut summary = Table::new(&["measurements", "density", "corr_coef", "mean_rel_err"]);
     for m in [5usize, 10, 25, 50] {

@@ -152,7 +152,11 @@ pub fn banner(figure: &str, description: &str, params: &[(&str, String)]) {
 pub fn case_report(figure: &str, case: sgl_datasets::TestCase, args: &Args, full_scale: f64) {
     use sgl_core::{objective, ObjectiveOptions, SpectrumMethod};
 
-    let default_scale = if args.has("quick") { full_scale.min(0.04) } else { full_scale };
+    let default_scale = if args.has("quick") {
+        full_scale.min(0.04)
+    } else {
+        full_scale
+    };
     let scale: f64 = args.get("scale", default_scale);
     let m: usize = args.get("m", 100); // the paper uses 100 for these figures
     let k_eigs: usize = args.get("eigs", 30);
@@ -171,9 +175,13 @@ pub fn case_report(figure: &str, case: sgl_datasets::TestCase, args: &Args, full
 
     let meas = Measurements::generate(&truth, m, 7).expect("measurements");
     let ((result, knn_density), secs) = time(|| {
-        let r = Sgl::new(SglConfig::default().with_tol(1e-12).with_max_iterations(200))
-            .learn(&meas)
-            .expect("learning");
+        let r = Sgl::new(
+            SglConfig::default()
+                .with_tol(1e-12)
+                .with_max_iterations(200),
+        )
+        .learn(&meas)
+        .expect("learning");
         let kd = r.knn_graph.density();
         (r, kd)
     });
@@ -187,7 +195,7 @@ pub fn case_report(figure: &str, case: sgl_datasets::TestCase, args: &Args, full
         if i % stride != 0 && i != last {
             continue;
         }
-        let snap = result.graph_at_iteration(i);
+        let snap = result.graph_at_iteration(i).expect("trace index in range");
         let f = objective(&snap, &meas, &obj_opts).expect("snapshot objective");
         curve.row(&[
             rec.iteration.to_string(),
@@ -202,8 +210,8 @@ pub fn case_report(figure: &str, case: sgl_datasets::TestCase, args: &Args, full
 
     // Eigenvalue scatter.
     let method = SpectrumMethod::ShiftInvert;
-    let true_eigs = sgl_core::smallest_nonzero_eigenvalues(&truth, k_eigs, method)
-        .expect("true eigenvalues");
+    let true_eigs =
+        sgl_core::smallest_nonzero_eigenvalues(&truth, k_eigs, method).expect("true eigenvalues");
     let got_eigs = sgl_core::smallest_nonzero_eigenvalues(&result.graph, k_eigs, method)
         .expect("learned eigenvalues");
     let mut scatter = Table::new(&["index", "lambda_original", "lambda_learned"]);
@@ -267,7 +275,9 @@ mod tests {
 
     #[test]
     fn args_parse_defaults() {
-        let a = Args { raw: vec!["--n".into(), "42".into(), "--quick".into()] };
+        let a = Args {
+            raw: vec!["--n".into(), "42".into(), "--quick".into()],
+        };
         assert_eq!(a.get("n", 7usize), 42);
         assert_eq!(a.get("m", 7usize), 7);
         assert!(a.has("quick"));

@@ -156,8 +156,7 @@ impl DenseGspEstimator {
         if candidates.num_edges() == 0 {
             return Err(SglError::InvalidGraph("no candidate edges".into()));
         }
-        let edges: Vec<(usize, usize)> =
-            candidates.edges().iter().map(|e| (e.u, e.v)).collect();
+        let edges: Vec<(usize, usize)> = candidates.edges().iter().map(|e| (e.u, e.v)).collect();
         let zdata: Vec<f64> = edges
             .iter()
             .map(|&(u, v)| measurements.data_distance_sq(u, v))
@@ -288,6 +287,8 @@ mod tests {
     fn empty_candidates_rejected() {
         let (_, meas, _) = setup(4, 4, 10, 4);
         let empty = Graph::new(16);
-        assert!(DenseGspEstimator::default().estimate(&meas, &empty).is_err());
+        assert!(DenseGspEstimator::default()
+            .estimate(&meas, &empty)
+            .is_err());
     }
 }

@@ -9,16 +9,18 @@
 //!      add the top ⌈Nβ⌉ with s > tol     (densification)
 //! 4. spectral edge scaling with X, Y     (Step 5, eqs. 21–23)
 //! ```
+//!
+//! [`Sgl`] is the one-shot entry point; it is a thin facade over
+//! [`SglSession`](crate::session::SglSession), which exposes the same
+//! loop step-by-step with swappable stage backends, observers, and
+//! incremental measurement batches.
 
 use crate::config::SglConfig;
-use crate::embedding::{spectral_embedding, spectral_embedding_warm, Embedding, EmbeddingOptions};
+use crate::embedding::Embedding;
 use crate::error::SglError;
 use crate::measure::Measurements;
-use crate::scaling::spectral_edge_scaling;
-use crate::sensitivity::CandidatePool;
-use sgl_graph::mst::maximum_spanning_tree;
+use crate::session::SglSession;
 use sgl_graph::Graph;
-use sgl_knn::{build_knn_graph, KnnGraphConfig};
 
 /// Per-iteration convergence record (the series behind Figs. 1, 2, 4–6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,10 +72,16 @@ impl LearnResult {
     /// of the final edge list is exactly the iteration snapshot. Used to
     /// replay objective-vs-iteration curves (Figs. 2, 4–6).
     ///
-    /// # Panics
-    /// Panics if `index` is out of range of the trace.
-    pub fn graph_at_iteration(&self, index: usize) -> Graph {
-        let record = &self.trace[index];
+    /// # Errors
+    /// Returns [`SglError::OutOfRange`] if `index` is not a valid trace
+    /// index.
+    pub fn graph_at_iteration(&self, index: usize) -> Result<Graph, SglError> {
+        let record = self.trace.get(index).ok_or_else(|| {
+            SglError::OutOfRange(format!(
+                "iteration index {index} out of range for a {}-entry trace",
+                self.trace.len()
+            ))
+        })?;
         let mut g = self
             .graph
             .edge_subgraph(&(0..record.total_edges).collect::<Vec<_>>());
@@ -81,11 +89,12 @@ impl LearnResult {
             // The final graph is scaled; undo it for the snapshot.
             g.scale_weights(1.0 / f);
         }
-        g
+        Ok(g)
     }
 }
 
-/// The SGL learner.
+/// The one-shot SGL learner (a facade over
+/// [`SglSession`](crate::session::SglSession)).
 ///
 /// # Example
 /// ```
@@ -113,26 +122,14 @@ impl Sgl {
         &self.config
     }
 
-    /// Run the full pipeline on a measurement set.
+    /// Run the full pipeline on a measurement set: initialize a
+    /// [`SglSession`], drive it to completion, and finish.
     ///
     /// # Errors
     /// Returns configuration/measurement validation errors and propagates
     /// numerical failures from the embedded solvers.
     pub fn learn(&self, measurements: &Measurements) -> Result<LearnResult, SglError> {
-        self.config.validate()?;
-        let n = measurements.num_nodes();
-        if n < 4 {
-            return Err(SglError::InvalidMeasurements(
-                "need at least 4 nodes to learn a graph".into(),
-            ));
-        }
-        // Step 1: connected kNN graph over measurement rows.
-        let knn_cfg = KnnGraphConfig {
-            k: self.config.k,
-            ..self.config.knn.clone()
-        };
-        let knn_graph = build_knn_graph(measurements.voltages(), &knn_cfg);
-        self.learn_from_knn(measurements, knn_graph)
+        SglSession::new(self.config.clone(), measurements)?.run()
     }
 
     /// Run Steps 2–5 on a caller-provided candidate graph (must span all
@@ -146,101 +143,7 @@ impl Sgl {
         measurements: &Measurements,
         knn_graph: Graph,
     ) -> Result<LearnResult, SglError> {
-        self.config.validate()?;
-        let n = measurements.num_nodes();
-        if knn_graph.num_nodes() != n {
-            return Err(SglError::InvalidGraph(format!(
-                "candidate graph has {} nodes, measurements have {n}",
-                knn_graph.num_nodes()
-            )));
-        }
-        if !sgl_graph::traversal::is_connected(&knn_graph) {
-            return Err(SglError::InvalidGraph(
-                "candidate graph must be connected".into(),
-            ));
-        }
-        let width = (self.config.r - 1).min(n.saturating_sub(2)).max(1);
-        let emb_opts = EmbeddingOptions {
-            tol: self.config.eig_tol,
-            max_iter: self.config.eig_max_iter,
-            seed: self.config.seed,
-        };
-        let shift = self.config.shift();
-
-        // Step 1b: maximum spanning tree as the initial graph.
-        let tree = maximum_spanning_tree(&knn_graph);
-        let mut graph = tree.to_graph(&knn_graph);
-        let mut pool = CandidatePool::from_off_tree(&knn_graph, &tree, measurements);
-
-        let per_iter = ((n as f64) * self.config.beta).ceil() as usize;
-        let per_iter = per_iter.max(1);
-
-        let mut trace = Vec::new();
-        let mut converged = false;
-        let mut embedding = spectral_embedding(&graph, width, shift, &emb_opts)?;
-        for iteration in 1..=self.config.max_iterations {
-            if pool.is_empty() {
-                converged = trace.last().map(|r: &IterationRecord| r.smax).unwrap_or(0.0)
-                    < self.config.tol;
-                break;
-            }
-            // Steps 2–3: embed and score.
-            let sens = pool.sensitivities(&embedding);
-            let smax = sens
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max);
-            // Step 4: convergence check.
-            if smax < self.config.tol {
-                trace.push(IterationRecord {
-                    iteration,
-                    smax,
-                    edges_added: 0,
-                    total_edges: graph.num_edges(),
-                    lambda2: embedding.eigenvalues.first().copied().unwrap_or(0.0),
-                });
-                converged = true;
-                break;
-            }
-            let picked = pool.select_top(&sens, per_iter, self.config.tol);
-            let added = picked.len();
-            for c in picked {
-                graph.add_edge(c.u, c.v, c.weight);
-            }
-            trace.push(IterationRecord {
-                iteration,
-                smax,
-                edges_added: added,
-                total_edges: graph.num_edges(),
-                lambda2: embedding.eigenvalues.first().copied().unwrap_or(0.0),
-            });
-            if added == 0 {
-                // smax ≥ tol but nothing selectable: numerical corner,
-                // treat as converged to avoid spinning.
-                converged = true;
-                break;
-            }
-            // Warm-start from the previous iteration's eigenvectors: only
-            // ~⌈Nβ⌉ edges changed, so the old block is nearly invariant.
-            embedding =
-                spectral_embedding_warm(&graph, width, shift, &emb_opts, Some(&embedding.coords))?;
-        }
-
-        // Step 5: spectral edge scaling (when currents are available).
-        let scale_factor = if self.config.scale_edges && measurements.currents().is_some() {
-            Some(spectral_edge_scaling(&mut graph, measurements)?)
-        } else {
-            None
-        };
-
-        Ok(LearnResult {
-            graph,
-            knn_graph,
-            trace,
-            converged,
-            scale_factor,
-            embedding,
-        })
+        SglSession::with_candidate_graph(self.config.clone(), measurements, knn_graph)?.run()
     }
 }
 
@@ -252,9 +155,7 @@ mod tests {
     use sgl_linalg::vecops;
 
     fn quick_config() -> SglConfig {
-        SglConfig::default()
-            .with_tol(1e-6)
-            .with_max_iterations(100)
+        SglConfig::default().with_tol(1e-6).with_max_iterations(100)
     }
 
     #[test]
@@ -335,25 +236,34 @@ mod tests {
         let result = Sgl::new(quick_config()).learn(&meas).unwrap();
         assert!(!result.trace.is_empty());
         for (i, rec) in result.trace.iter().enumerate() {
-            let snap = result.graph_at_iteration(i);
+            let snap = result.graph_at_iteration(i).unwrap();
             assert_eq!(snap.num_edges(), rec.total_edges);
             // Every snapshot contains the spanning tree (still connected).
             assert!(sgl_graph::traversal::is_connected(&snap));
         }
         // Last snapshot equals the final graph modulo the scale factor.
-        let last = result.graph_at_iteration(result.trace.len() - 1);
+        let last = result.graph_at_iteration(result.trace.len() - 1).unwrap();
         let f = result.scale_factor.unwrap();
         for (a, b) in last.edges().iter().zip(result.graph.edges()) {
             assert!((a.weight * f - b.weight).abs() < 1e-12);
         }
+        // Out-of-range snapshot indices are an error, not a panic.
+        assert!(matches!(
+            result.graph_at_iteration(result.trace.len()),
+            Err(SglError::OutOfRange(_))
+        ));
     }
 
     #[test]
     fn beta_one_converges_in_fewer_iterations() {
         let truth = grid2d(8, 8);
         let meas = Measurements::generate(&truth, 20, 7).unwrap();
-        let slow = Sgl::new(quick_config().with_beta(1e-3)).learn(&meas).unwrap();
-        let fast = Sgl::new(quick_config().with_beta(1.0)).learn(&meas).unwrap();
+        let slow = Sgl::new(quick_config().with_beta(1e-3))
+            .learn(&meas)
+            .unwrap();
+        let fast = Sgl::new(quick_config().with_beta(1.0))
+            .learn(&meas)
+            .unwrap();
         assert!(fast.trace.len() <= slow.trace.len());
     }
 }

@@ -142,7 +142,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let mut rows = Vec::new();
         for _ in 0..per {
-            rows.push(vec![rng.standard_normal() * 0.1, rng.standard_normal() * 0.1]);
+            rows.push(vec![
+                rng.standard_normal() * 0.1,
+                rng.standard_normal() * 0.1,
+            ]);
         }
         for _ in 0..per {
             rows.push(vec![

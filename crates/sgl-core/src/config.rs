@@ -1,7 +1,62 @@
-//! SGL configuration (the inputs of Algorithm 1).
+//! SGL configuration (the inputs of Algorithm 1) and its typed builder.
+//!
+//! [`SglConfig`] is the validated, plain-data description of a learning
+//! run. Construct one with [`SglConfig::builder`]:
+//!
+//! ```
+//! use sgl_core::SglConfig;
+//!
+//! let cfg = SglConfig::builder()
+//!     .k(5)
+//!     .r(5)
+//!     .beta(1e-3)
+//!     .tol(1e-9)
+//!     .build()?;
+//! assert_eq!(cfg.k, 5);
+//! # Ok::<(), sgl_core::SglError>(())
+//! ```
+//!
+//! `k` lives only on [`SglConfig`]; the kNN backend settings
+//! ([`KnnSettings`]) deliberately exclude it so there is a single source
+//! of truth for the neighbor count.
 
 use crate::error::SglError;
-use sgl_knn::KnnGraphConfig;
+use sgl_knn::{KnnGraphConfig, KnnMethod};
+
+/// kNN construction settings *minus* the neighbor count `k`, which is
+/// owned by [`SglConfig::k`] alone.
+#[derive(Debug, Clone)]
+pub struct KnnSettings {
+    /// Search backend (exact brute force or approximate HNSW).
+    pub method: KnnMethod,
+    /// Relative floor for squared distances (guards duplicate rows).
+    pub dist_floor_rel: f64,
+    /// Worker threads for the brute-force path (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for KnnSettings {
+    fn default() -> Self {
+        let d = KnnGraphConfig::default();
+        KnnSettings {
+            method: d.method,
+            dist_floor_rel: d.dist_floor_rel,
+            threads: d.threads,
+        }
+    }
+}
+
+impl KnnSettings {
+    /// Combine with the neighbor count into the `sgl-knn` build config.
+    pub fn graph_config(&self, k: usize) -> KnnGraphConfig {
+        KnnGraphConfig {
+            k,
+            method: self.method.clone(),
+            dist_floor_rel: self.dist_floor_rel,
+            threads: self.threads,
+        }
+    }
+}
 
 /// Configuration for the SGL learner, mirroring Algorithm 1's inputs.
 ///
@@ -9,7 +64,7 @@ use sgl_knn::KnnGraphConfig;
 /// `r = 5`, `β = 10⁻³`, `tol = 10⁻¹²`, `σ² → ∞`.
 #[derive(Debug, Clone)]
 pub struct SglConfig {
-    /// `k` for the initial kNN graph.
+    /// `k` for the initial kNN graph (the single source of truth).
     pub k: usize,
     /// `r` for the spectral projection matrix of eq. (12): `r − 1`
     /// nontrivial eigenvectors are used.
@@ -24,8 +79,8 @@ pub struct SglConfig {
     pub sigma_sq: f64,
     /// Iteration cap (a safety net; the paper's runs converge in ≤ ~100).
     pub max_iterations: usize,
-    /// kNN construction settings (`k` here overrides the embedded value).
-    pub knn: KnnGraphConfig,
+    /// kNN construction settings (everything except `k`).
+    pub knn: KnnSettings,
     /// Residual tolerance for the embedding eigensolver.
     pub eig_tol: f64,
     /// Iteration cap for the embedding eigensolver.
@@ -45,7 +100,7 @@ impl Default for SglConfig {
             tol: 1e-12,
             sigma_sq: f64::INFINITY,
             max_iterations: 500,
-            knn: KnnGraphConfig::default(),
+            knn: KnnSettings::default(),
             eig_tol: 1e-7,
             eig_max_iter: 400,
             scale_edges: true,
@@ -55,6 +110,14 @@ impl Default for SglConfig {
 }
 
 impl SglConfig {
+    /// Start a typed builder seeded with the paper defaults. `build()`
+    /// validates, so an `SglConfig` obtained this way is always usable.
+    pub fn builder() -> SglConfigBuilder {
+        SglConfigBuilder {
+            cfg: SglConfig::default(),
+        }
+    }
+
     /// Validate the configuration.
     ///
     /// # Errors
@@ -92,6 +155,17 @@ impl SglConfig {
                 "max_iterations must be at least 1".into(),
             ));
         }
+        if !self.eig_tol.is_finite() || self.eig_tol <= 0.0 {
+            return Err(SglError::InvalidConfig(format!(
+                "eig_tol must be finite and positive, got {}",
+                self.eig_tol
+            )));
+        }
+        if self.eig_max_iter == 0 {
+            return Err(SglError::InvalidConfig(
+                "eig_max_iter must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -103,6 +177,11 @@ impl SglConfig {
         } else {
             1.0 / self.sigma_sq
         }
+    }
+
+    /// The kNN build configuration implied by `k` + [`KnnSettings`].
+    pub fn knn_graph_config(&self) -> KnnGraphConfig {
+        self.knn.graph_config(self.k)
     }
 
     /// Builder-style setter for `k`.
@@ -139,6 +218,101 @@ impl SglConfig {
     pub fn with_scale_edges(mut self, on: bool) -> Self {
         self.scale_edges = on;
         self
+    }
+}
+
+/// Typed builder for [`SglConfig`]; obtained from [`SglConfig::builder`].
+///
+/// Unlike the loose `with_*` setters, [`SglConfigBuilder::build`] runs
+/// [`SglConfig::validate`], so invalid combinations are caught at
+/// construction time instead of at `learn` time.
+#[derive(Debug, Clone)]
+pub struct SglConfigBuilder {
+    cfg: SglConfig,
+}
+
+impl SglConfigBuilder {
+    /// Neighbor count `k` for the initial kNN graph.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Spectral projection order `r` (uses `r − 1` eigenvectors).
+    pub fn r(mut self, r: usize) -> Self {
+        self.cfg.r = r;
+        self
+    }
+
+    /// Edge sampling ratio `β ∈ (0, 1]`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.cfg.beta = beta;
+        self
+    }
+
+    /// Convergence tolerance on the maximum edge sensitivity.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.cfg.tol = tol;
+        self
+    }
+
+    /// Prior feature variance `σ²` (infinite = no diagonal shift).
+    pub fn sigma_sq(mut self, sigma_sq: f64) -> Self {
+        self.cfg.sigma_sq = sigma_sq;
+        self
+    }
+
+    /// Densification iteration cap.
+    pub fn max_iterations(mut self, it: usize) -> Self {
+        self.cfg.max_iterations = it;
+        self
+    }
+
+    /// kNN construction settings (search backend, distance floor,
+    /// threads); `k` is set via [`SglConfigBuilder::k`].
+    pub fn knn(mut self, knn: KnnSettings) -> Self {
+        self.cfg.knn = knn;
+        self
+    }
+
+    /// kNN search backend.
+    pub fn knn_method(mut self, method: KnnMethod) -> Self {
+        self.cfg.knn.method = method;
+        self
+    }
+
+    /// Residual tolerance for the embedding eigensolver.
+    pub fn eig_tol(mut self, tol: f64) -> Self {
+        self.cfg.eig_tol = tol;
+        self
+    }
+
+    /// Iteration cap for the embedding eigensolver.
+    pub fn eig_max_iter(mut self, it: usize) -> Self {
+        self.cfg.eig_max_iter = it;
+        self
+    }
+
+    /// Enable/disable the spectral edge scaling step.
+    pub fn scale_edges(mut self, on: bool) -> Self {
+        self.cfg.scale_edges = on;
+        self
+    }
+
+    /// Seed for the eigensolver's random initial blocks.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SglError::InvalidConfig`] for the first violated
+    /// constraint.
+    pub fn build(self) -> Result<SglConfig, SglError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -186,6 +360,30 @@ mod tests {
     }
 
     #[test]
+    fn eigensolver_settings_are_validated() {
+        let c = SglConfig {
+            eig_tol: 0.0,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SglConfig {
+            eig_tol: f64::NAN,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SglConfig {
+            eig_tol: f64::INFINITY,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SglConfig {
+            eig_max_iter: 0,
+            ..SglConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn builders_chain() {
         let c = SglConfig::default()
             .with_k(7)
@@ -200,5 +398,45 @@ mod tests {
         assert_eq!(c.tol, 1e-9);
         assert_eq!(c.max_iterations, 10);
         assert!(!c.scale_edges);
+    }
+
+    #[test]
+    fn typed_builder_validates() {
+        let c = SglConfig::builder()
+            .k(6)
+            .r(4)
+            .beta(0.5)
+            .tol(1e-8)
+            .sigma_sq(2.0)
+            .max_iterations(42)
+            .eig_tol(1e-9)
+            .eig_max_iter(300)
+            .scale_edges(false)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(c.k, 6);
+        assert_eq!(c.r, 4);
+        assert_eq!(c.beta, 0.5);
+        assert_eq!(c.tol, 1e-8);
+        assert_eq!(c.sigma_sq, 2.0);
+        assert_eq!(c.max_iterations, 42);
+        assert_eq!(c.eig_tol, 1e-9);
+        assert_eq!(c.eig_max_iter, 300);
+        assert!(!c.scale_edges);
+        assert_eq!(c.seed, 99);
+
+        assert!(SglConfig::builder().beta(0.0).build().is_err());
+        assert!(SglConfig::builder().r(1).build().is_err());
+        assert!(SglConfig::builder().eig_tol(0.0).build().is_err());
+        assert!(SglConfig::builder().eig_max_iter(0).build().is_err());
+    }
+
+    #[test]
+    fn k_has_a_single_source_of_truth() {
+        let c = SglConfig::builder().k(9).build().unwrap();
+        assert_eq!(c.knn_graph_config().k, 9);
+        // KnnSettings has no `k` field at all; graph_config takes it.
+        assert_eq!(c.knn.graph_config(3).k, 3);
     }
 }

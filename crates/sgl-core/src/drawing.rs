@@ -97,7 +97,7 @@ mod tests {
         let g = grid2d(3, 3);
         let l = spectral_layout(&g).unwrap();
         let mut buf = Vec::new();
-        l.write_csv(&mut buf, Some(&vec![0; 9])).unwrap();
+        l.write_csv(&mut buf, Some(&[0; 9])).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert!(s.starts_with("node,x,y,cluster"));
         assert_eq!(s.lines().count(), 10);

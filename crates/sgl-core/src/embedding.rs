@@ -119,7 +119,7 @@ pub fn spectral_embedding_warm(
         &op,
         &precond,
         width,
-        &[ones.clone()],
+        std::slice::from_ref(&ones),
         warm_start,
         &LobpcgOptions {
             tol: opts.tol,

@@ -14,6 +14,8 @@ pub enum SglError {
     InvalidMeasurements(String),
     /// The graph is structurally unusable (disconnected, empty).
     InvalidGraph(String),
+    /// An index (iteration, node, edge) is out of range.
+    OutOfRange(String),
 }
 
 impl fmt::Display for SglError {
@@ -23,6 +25,7 @@ impl fmt::Display for SglError {
             SglError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             SglError::InvalidMeasurements(m) => write!(f, "invalid measurements: {m}"),
             SglError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+            SglError::OutOfRange(m) => write!(f, "index out of range: {m}"),
         }
     }
 }

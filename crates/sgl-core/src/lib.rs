@@ -3,14 +3,16 @@
 //! Graph Learning from Measurements"*, DAC 2021.
 //!
 //! Given `M` measurement pairs `(X, Y)` with `L* x_i = y_i` on an unknown
-//! `N`-node resistor network, [`Sgl`] recovers an ultra-sparse graph whose
-//! spectral-embedding (effective-resistance) distances encode the
+//! `N`-node resistor network, the learner recovers an ultra-sparse graph
+//! whose spectral-embedding (effective-resistance) distances encode the
 //! measurement distances — a scalable alternative to `O(N²)`-per-iteration
 //! graphical-Lasso solvers. The loop: kNN graph → maximum spanning tree →
 //! iteratively add the highest-sensitivity off-tree edges (first-order
 //! spectral perturbation, eq. 13) → spectral edge scaling.
 //!
-//! # Quickstart
+//! # Quickstart (one-shot)
+//!
+//! Configure with the typed builder, learn with [`Sgl`]:
 //!
 //! ```
 //! use sgl_core::{Measurements, Sgl, SglConfig};
@@ -18,8 +20,30 @@
 //! // Ground truth: an 8×8 resistor mesh. Measure it, then learn it back.
 //! let truth = sgl_datasets::grid2d(8, 8);
 //! let meas = Measurements::generate(&truth, 20, 42)?;
-//! let result = Sgl::new(SglConfig::default().with_tol(1e-5)).learn(&meas)?;
+//! let cfg = SglConfig::builder().k(5).r(5).tol(1e-5).build()?;
+//! let result = Sgl::new(cfg).learn(&meas)?;
 //! assert!(result.graph.density() < 2.0); // ultra-sparse
+//! # Ok::<(), sgl_core::SglError>(())
+//! ```
+//!
+//! # The staged pipeline
+//!
+//! [`Sgl::learn`] is a facade over [`SglSession`], which runs the same
+//! loop one [`step`](SglSession::step) at a time with swappable stage
+//! backends ([`backend`]), per-iteration observers, and incremental
+//! measurement batches ([`SglSession::extend_measurements`]):
+//!
+//! ```
+//! use sgl_core::{DenseEigBackend, Measurements, SglConfig, SglSession};
+//!
+//! let truth = sgl_datasets::grid2d(6, 6);
+//! let meas = Measurements::generate(&truth, 15, 7)?;
+//! let mut session = SglSession::new(SglConfig::builder().tol(1e-6).build()?, &meas)?
+//!     .with_embedding_backend(Box::new(DenseEigBackend::default()));
+//! session.observe(|r: &sgl_core::IterationRecord| eprintln!("smax = {:.2e}", r.smax));
+//! session.run_to_completion()?;
+//! let result = session.finish()?;
+//! assert!(result.converged);
 //! # Ok::<(), sgl_core::SglError>(())
 //! ```
 //!
@@ -31,6 +55,7 @@
 //! reduced-network learning ([`reduction`]).
 
 pub mod algorithm;
+pub mod backend;
 pub mod clustering;
 pub mod config;
 pub mod drawing;
@@ -44,9 +69,14 @@ pub mod refine;
 pub mod resistance;
 pub mod scaling;
 pub mod sensitivity;
+pub mod session;
 
 pub use algorithm::{IterationRecord, LearnResult, Sgl};
-pub use config::SglConfig;
+pub use backend::{
+    CandidateScorer, DenseEigBackend, EdgeScaler, EmbeddingBackend, LanczosBackend, NoScaler,
+    SensitivityThreshold, SpectralGradientScorer, SpectralScaler, StoppingRule,
+};
+pub use config::{KnnSettings, SglConfig, SglConfigBuilder};
 pub use embedding::{
     smallest_nonzero_eigenvalues, spectral_embedding, Embedding, EmbeddingOptions, SpectrumMethod,
 };
@@ -61,3 +91,4 @@ pub use resistance::{
 };
 pub use scaling::{edge_scale_factor, spectral_edge_scaling};
 pub use sensitivity::{Candidate, CandidatePool};
+pub use session::{SessionObserver, SglSession, StepOutcome};

@@ -211,6 +211,39 @@ impl Measurements {
         }
     }
 
+    /// Concatenate a later measurement batch column-wise: the result has
+    /// the same `N` nodes and `M₁ + M₂` excitations. Currents are kept
+    /// only when both batches carry them (a voltage-only batch degrades
+    /// the union to voltage-only). This is the substrate of
+    /// [`SglSession::extend_measurements`](crate::SglSession::extend_measurements).
+    ///
+    /// # Errors
+    /// Returns [`SglError::InvalidMeasurements`] on node-count mismatch.
+    pub fn hstack(&self, later: &Measurements) -> Result<Measurements, SglError> {
+        if later.num_nodes() != self.num_nodes() {
+            return Err(SglError::InvalidMeasurements(format!(
+                "cannot stack a {}-node batch onto {}-node measurements",
+                later.num_nodes(),
+                self.num_nodes()
+            )));
+        }
+        fn hcat(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+            let cols: Vec<Vec<f64>> = (0..a.ncols())
+                .map(|j| a.column(j))
+                .chain((0..b.ncols()).map(|j| b.column(j)))
+                .collect();
+            DenseMatrix::from_columns(&cols)
+        }
+        let y = match (&self.y, &later.y) {
+            (Some(a), Some(b)) => Some(hcat(a, b)),
+            _ => None,
+        };
+        Ok(Measurements {
+            x: hcat(&self.x, &later.x),
+            y,
+        })
+    }
+
     /// Keep only the given node rows (Fig. 8 reduced-network learning).
     /// Currents are dropped: the paper's reduction uses voltages only.
     ///
@@ -305,6 +338,33 @@ mod tests {
         assert_eq!(sub.num_measurements(), 3);
         assert!(sub.currents().is_none());
         assert_eq!(sub.voltages().row(1), meas.voltages().row(5));
+    }
+
+    #[test]
+    fn hstack_concatenates_batches() {
+        let g = grid2d(4, 4);
+        let a = Measurements::generate(&g, 3, 6).unwrap();
+        let b = Measurements::generate(&g, 2, 7).unwrap();
+        let ab = a.hstack(&b).unwrap();
+        assert_eq!(ab.num_nodes(), 16);
+        assert_eq!(ab.num_measurements(), 5);
+        assert_eq!(ab.voltage_vector(0), a.voltage_vector(0));
+        assert_eq!(ab.voltage_vector(3), b.voltage_vector(0));
+        assert!(ab.currents().is_some());
+        assert_eq!(
+            ab.currents().unwrap().column(4),
+            b.currents().unwrap().column(1)
+        );
+
+        // A voltage-only batch degrades the union to voltage-only.
+        let volts = Measurements::from_voltages(b.voltages().clone()).unwrap();
+        let av = a.hstack(&volts).unwrap();
+        assert!(av.currents().is_none());
+        assert_eq!(av.num_measurements(), 5);
+
+        // Node-count mismatch is rejected.
+        let other = Measurements::generate(&grid2d(3, 3), 2, 8).unwrap();
+        assert!(a.hstack(&other).is_err());
     }
 
     #[test]

@@ -109,7 +109,11 @@ pub fn refine_weights(
     let zdata: Vec<f64> = graph
         .edges()
         .iter()
-        .map(|e| measurements.data_distance_sq(e.u, e.v).max(f64::MIN_POSITIVE))
+        .map(|e| {
+            measurements
+                .data_distance_sq(e.u, e.v)
+                .max(f64::MIN_POSITIVE)
+        })
         .collect();
 
     let mut trace = Vec::with_capacity(opts.rounds);
@@ -162,8 +166,7 @@ mod tests {
         let trace = refine_weights(&mut g, &meas, &RefineOptions::default()).unwrap();
         assert_eq!(trace.len(), 4);
         assert!(
-            trace.last().unwrap().mean_log_distortion
-                < trace.first().unwrap().mean_log_distortion,
+            trace.last().unwrap().mean_log_distortion < trace.first().unwrap().mean_log_distortion,
             "distortion should shrink: {trace:?}"
         );
     }

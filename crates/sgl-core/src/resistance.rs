@@ -15,11 +15,7 @@ use sgl_solver::{LaplacianSolver, SolverOptions};
 ///
 /// # Panics
 /// Panics if `s == t` or either index is out of range.
-pub fn effective_resistance(
-    solver: &LaplacianSolver,
-    s: usize,
-    t: usize,
-) -> Result<f64, SglError> {
+pub fn effective_resistance(solver: &LaplacianSolver, s: usize, t: usize) -> Result<f64, SglError> {
     let n = solver.num_nodes();
     assert!(s < n && t < n, "node index out of range");
     assert_ne!(s, t, "effective resistance needs distinct nodes");

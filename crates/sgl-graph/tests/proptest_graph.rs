@@ -1,5 +1,9 @@
 //! Property-based tests for the graph substrate.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl_graph::laplacian::{laplacian_csr, LaplacianOp};
 use sgl_graph::mst::{maximum_spanning_tree, minimum_spanning_tree};

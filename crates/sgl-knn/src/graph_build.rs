@@ -124,7 +124,7 @@ fn repair_connectivity(g: &mut Graph, x: &DenseMatrix) {
                         continue;
                     }
                     let d = vecops::dist_sq(x.row(u), x.row(v));
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((u, v, d));
                     }
                 }

@@ -130,7 +130,11 @@ impl HnswIndex {
             let ef = self.params.ef_construction;
             let found = self.search_layer(&q, ep, ef, l);
             ep = found.first().map(|&(i, _)| i).unwrap_or(ep);
-            let cap = if l == 0 { 2 * self.params.m } else { self.params.m };
+            let cap = if l == 0 {
+                2 * self.params.m
+            } else {
+                self.params.m
+            };
             let selected: Vec<u32> = found.iter().take(cap).map(|&(i, _)| i as u32).collect();
             self.links[node][l] = selected.clone();
             for &nbr in &selected {

@@ -58,7 +58,10 @@ pub fn recall(exact: &[(usize, f64)], approx: &[(usize, f64)]) -> f64 {
         return 1.0;
     }
     let exact_ids: std::collections::HashSet<usize> = exact.iter().map(|&(i, _)| i).collect();
-    let hit = approx.iter().filter(|&&(i, _)| exact_ids.contains(&i)).count();
+    let hit = approx
+        .iter()
+        .filter(|&&(i, _)| exact_ids.contains(&i))
+        .count();
     hit as f64 / exact.len() as f64
 }
 

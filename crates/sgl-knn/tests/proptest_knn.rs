@@ -1,5 +1,9 @@
 //! Property-based tests for nearest-neighbor search and graph building.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl_knn::{
     build_knn_graph, BruteForceKnn, HnswIndex, HnswParams, KnnGraphConfig, NearestNeighbors,

@@ -165,7 +165,7 @@ pub fn lanczos<A: LinearOperator>(
         let at_cap = m == max_m;
         let invariant = b < 1e-13;
 
-        if m % check_every == 0 || at_cap || invariant || m >= k + 2 {
+        if m.is_multiple_of(check_every) || at_cap || invariant || m >= k + 2 {
             // Ritz extraction on the current (possibly block-decoupled)
             // tridiagonal matrix. A zero beta from a restart decouples the
             // blocks exactly, which tridiag_eig handles natively.
@@ -258,7 +258,6 @@ fn assemble_ritz(
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,7 +295,13 @@ mod tests {
         let d = CsrMatrix::from_triplets(
             5,
             5,
-            &[(0, 0, 1.0), (1, 1, 5.0), (2, 2, 3.0), (3, 3, 9.0), (4, 4, 7.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 1, 5.0),
+                (2, 2, 3.0),
+                (3, 3, 9.0),
+                (4, 4, 7.0),
+            ],
         );
         let pairs = lanczos_largest(&d, 2, &[], &LanczosOptions::default()).unwrap();
         assert!((pairs.values[0] - 7.0).abs() < 1e-9);

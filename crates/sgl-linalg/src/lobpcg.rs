@@ -387,7 +387,7 @@ mod tests {
             &l,
             &IdentityPreconditioner,
             3,
-            &[ones.clone()],
+            std::slice::from_ref(&ones),
             &LobpcgOptions::default(),
         )
         .unwrap();

@@ -147,7 +147,11 @@ impl QrFactor {
     /// The upper-triangular factor `R` (`n × n`).
     pub fn r(&self) -> DenseMatrix {
         let n = self.ncols();
-        DenseMatrix::from_fn(n, n, |i, j| if j >= i { self.packed.get(i, j) } else { 0.0 })
+        DenseMatrix::from_fn(
+            n,
+            n,
+            |i, j| if j >= i { self.packed.get(i, j) } else { 0.0 },
+        )
     }
 
     /// The thin orthonormal factor `Q` (`m × n`).
@@ -274,12 +278,19 @@ mod tests {
         let a = random_matrix(20, 3, 3);
         let mut rng = Rng::seed_from_u64(4);
         let b = rng.normal_vec(20);
-        let x = QrFactor::compute(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x = QrFactor::compute(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         // Residual must be orthogonal to the column space: Aᵀ(Ax - b) = 0.
         let mut r = a.matvec(&x);
         vecops::axpy(-1.0, &b, &mut r);
         let g = a.matvec_t(&r);
-        assert!(vecops::norm_inf(&g) < 1e-10, "grad {}", vecops::norm_inf(&g));
+        assert!(
+            vecops::norm_inf(&g) < 1e-10,
+            "grad {}",
+            vecops::norm_inf(&g)
+        );
     }
 
     #[test]

@@ -295,8 +295,8 @@ pub fn tridiag_eig(diag: &[f64], offdiag: &[f64]) -> Result<SymEig, LinalgError>
     );
     let mut d = diag.to_vec();
     let mut e = vec![0.0; n];
-    for i in 1..n {
-        e[i] = offdiag[i - 1];
+    if n > 1 {
+        e[1..].copy_from_slice(offdiag);
     }
     let mut z = DenseMatrix::identity(n);
     tql2(&mut z, &mut d, &mut e)?;
@@ -395,7 +395,10 @@ mod tests {
         let eig = SymEig::compute(&a).unwrap();
         for (k, &lam) in eig.values.iter().enumerate() {
             let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
-            assert!((lam - expect).abs() < 1e-12, "k={k} got {lam} want {expect}");
+            assert!(
+                (lam - expect).abs() < 1e-12,
+                "k={k} got {lam} want {expect}"
+            );
         }
         // Null vector is constant.
         let v0 = eig.vectors.column(0);

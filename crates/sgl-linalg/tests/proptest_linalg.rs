@@ -1,5 +1,9 @@
 //! Property-based tests for the dense/sparse kernels.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl_linalg::cg::{cg_solve, CgOptions};
 use sgl_linalg::qr::orthonormalize_columns;

@@ -146,11 +146,7 @@ impl AmgHierarchy {
     /// Node counts per level, finest first.
     pub fn level_sizes(&self) -> Vec<usize> {
         let mut sizes: Vec<usize> = self.levels.iter().map(|l| l.laplacian.nrows()).collect();
-        sizes.push(
-            self.levels
-                .last()
-                .map_or(self.num_nodes, |l| l.num_coarse),
-        );
+        sizes.push(self.levels.last().map_or(self.num_nodes, |l| l.num_coarse));
         sizes
     }
 
@@ -236,7 +232,7 @@ fn aggregate(g: &Graph) -> Aggregation {
         }
         let mut best: Option<(usize, f64)> = None;
         for (v, w, _) in adj.neighbors(u) {
-            if agg[v] != usize::MAX && best.map_or(true, |(_, bw)| w > bw) {
+            if agg[v] != usize::MAX && best.is_none_or(|(_, bw)| w > bw) {
                 best = Some((agg[v], w));
             }
         }

@@ -199,13 +199,7 @@ mod tests {
         };
         let p = ProjectedOperator::new(&l);
         let pre = pcg_solve(&p, &ic, &b, &opts).unwrap();
-        let plain = pcg_solve(
-            &p,
-            &sgl_linalg::IdentityPreconditioner,
-            &b,
-            &opts,
-        )
-        .unwrap();
+        let plain = pcg_solve(&p, &sgl_linalg::IdentityPreconditioner, &b, &opts).unwrap();
         assert!(
             pre.iterations < plain.iterations,
             "IC(0) should beat plain CG: {} vs {}",

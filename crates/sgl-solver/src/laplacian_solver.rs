@@ -8,9 +8,7 @@ use sgl_graph::laplacian::LaplacianOp;
 use sgl_graph::traversal::is_connected;
 use sgl_graph::Graph;
 use sgl_linalg::cg::{pcg_solve, CgOptions};
-use sgl_linalg::{
-    vecops, JacobiPreconditioner, LinalgError, Preconditioner, ProjectedOperator,
-};
+use sgl_linalg::{vecops, JacobiPreconditioner, LinalgError, Preconditioner, ProjectedOperator};
 
 /// Which solver backend to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -38,7 +38,7 @@ pub mod preconditioner;
 pub mod tree_solver;
 
 pub use amg::{AmgHierarchy, AmgOptions};
-pub use laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions, SolverStats};
 pub use ichol::IncompleteCholesky;
+pub use laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions, SolverStats};
 pub use preconditioner::{GaussSeidelPreconditioner, TreePreconditioner};
 pub use tree_solver::TreeSolver;

@@ -3,8 +3,8 @@
 use crate::tree_solver::TreeSolver;
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::Graph;
-use sgl_linalg::{CsrMatrix, Preconditioner};
 use sgl_linalg::vecops;
+use sgl_linalg::{CsrMatrix, Preconditioner};
 
 /// Spanning-tree (support-graph) preconditioner: applies an exact solve on
 /// a maximum spanning tree of the graph.

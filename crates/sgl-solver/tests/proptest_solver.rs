@@ -1,5 +1,9 @@
 //! Property-based tests for the Laplacian solvers.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl_graph::laplacian::laplacian_csr;
 use sgl_graph::Graph;

@@ -1,0 +1,76 @@
+//! Incremental learning: measurement batches arriving over time.
+//!
+//! A deployed sensing system rarely hands you all `M` excitations at
+//! once. `SglSession::extend_measurements` folds each new batch into a
+//! running session: the kNN candidate pool is rebuilt over the richer
+//! data (already-learned edges stay in the graph), the spectral
+//! embedding warm-start is kept, and stepping resumes where it left off.
+//!
+//! Run with: `cargo run --release --example incremental_learning`
+
+use sgl::prelude::*;
+use sgl_linalg::DenseMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: a 12×12 resistor mesh we pretend is unknown.
+    let truth = sgl_datasets::grid2d(12, 12);
+    println!("ground truth    : {truth}");
+
+    // Simulate 40 excitations up front, then replay them in 4 batches of
+    // 10 as if they arrived over time (voltage-only streams).
+    let all = Measurements::generate(&truth, 40, 2024)?;
+    let batch = |lo: usize, hi: usize| -> Result<Measurements, sgl_core::SglError> {
+        let cols: Vec<Vec<f64>> = (lo..hi).map(|j| all.voltages().column(j)).collect();
+        Measurements::from_voltages(DenseMatrix::from_columns(&cols))
+    };
+
+    let cfg = SglConfig::builder()
+        .k(5)
+        .r(5)
+        .tol(1e-7)
+        .max_iterations(150)
+        .build()?;
+
+    // Start from the first batch, with a live per-iteration observer.
+    let first = batch(0, 10)?;
+    let mut session = SglSession::new(cfg, &first)?;
+    session.observe(|r: &IterationRecord| {
+        println!(
+            "  iter {:>3}: smax {:>9.3e}, +{} edges ({} total)",
+            r.iteration, r.smax, r.edges_added, r.total_edges
+        );
+    });
+
+    println!("batch 1 (M = 10):");
+    session.run_to_completion()?;
+
+    for (i, range) in [(10, 20), (20, 30), (30, 40)].iter().enumerate() {
+        let candidates = session.extend_measurements(&batch(range.0, range.1)?)?;
+        println!(
+            "batch {} (M = {}): {} candidate edges refreshed",
+            i + 2,
+            session.measurements().num_measurements(),
+            candidates
+        );
+        session.run_to_completion()?;
+    }
+
+    let result = session.finish()?;
+    println!("learned graph   : {}", result.graph);
+    println!(
+        "iterations      : {} across 4 batches (converged: {})",
+        result.trace.len(),
+        result.converged
+    );
+
+    // Compare against learning from all 40 measurements at once.
+    let oneshot = Sgl::new(SglConfig::builder().tol(1e-7).max_iterations(150).build()?)
+        .learn(&Measurements::from_voltages(all.voltages().clone())?)?;
+    println!("one-shot graph  : {}", oneshot.graph);
+    println!(
+        "densities       : incremental {:.3} vs one-shot {:.3}",
+        result.density(),
+        oneshot.density()
+    );
+    Ok(())
+}

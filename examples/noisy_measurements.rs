@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clean = Measurements::generate(&truth, 50, 1)?;
     let config = SglConfig::default().with_tol(1e-9).with_max_iterations(120);
 
-    println!("\n{:>10} {:>10} {:>12} {:>14}", "noise", "density", "corr", "mean_rel_err");
+    println!(
+        "\n{:>10} {:>10} {:>12} {:>14}",
+        "noise", "density", "corr", "mean_rel_err"
+    );
     for zeta in [0.0, 0.1, 0.25, 0.5] {
         let noisy = clean.with_noise(zeta, 123);
         let result = Sgl::new(config.clone()).learn(&noisy)?;

@@ -22,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("power grid    : {truth}");
 
     let measurements = Measurements::generate(&truth, 50, 3)?;
-    let result = Sgl::new(SglConfig::default().with_tol(1e-10).with_max_iterations(150))
-        .learn(&measurements)?;
+    let result = Sgl::new(
+        SglConfig::default()
+            .with_tol(1e-10)
+            .with_max_iterations(150),
+    )
+    .learn(&measurements)?;
     println!("learned model : {}", result.graph);
 
     // Spectral fidelity.

@@ -17,8 +17,8 @@ use sgl_linalg::vecops;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = sgl_datasets::grid2d(18, 18);
     let meas = Measurements::generate(&truth, 40, 6)?;
-    let result = Sgl::new(SglConfig::default().with_tol(1e-9).with_max_iterations(120))
-        .learn(&meas)?;
+    let result =
+        Sgl::new(SglConfig::default().with_tol(1e-9).with_max_iterations(120)).learn(&meas)?;
 
     let pairs = sample_node_pairs(truth.num_nodes(), 150, 3);
     let r_true = pairwise_effective_resistances(&truth, &pairs)?;
@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndistortion trace (mean |log eta| per round):");
     for r in &trace {
-        println!("  round {}: mean {:.4}  max {:.4}", r.round, r.mean_log_distortion, r.max_log_distortion);
+        println!(
+            "  round {}: mean {:.4}  max {:.4}",
+            r.round, r.mean_log_distortion, r.max_log_distortion
+        );
     }
 
     // Export for downstream tools.

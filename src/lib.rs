@@ -1,7 +1,9 @@
 //! SGL — Spectral Graph Learning from Measurements (DAC 2021).
 //!
 //! Facade crate re-exporting the whole reproduction workspace. The primary
-//! entry point is [`sgl_core::Sgl`]; everything else is substrate:
+//! entry points are [`sgl_core::Sgl`] (one-shot) and
+//! [`sgl_core::SglSession`] (staged pipeline); everything else is
+//! substrate:
 //!
 //! * [`sgl_linalg`] — dense/sparse linear algebra, eigensolvers, CG, PRNG.
 //! * [`sgl_graph`] — resistor-network graphs, Laplacians, spanning trees.
@@ -13,6 +15,8 @@
 //!
 //! # Quickstart
 //!
+//! Configure with the typed builder, learn one-shot:
+//!
 //! ```
 //! use sgl::prelude::*;
 //!
@@ -21,9 +25,34 @@
 //! // Simulate voltage/current measurements on it.
 //! let meas = Measurements::generate(&truth, 20, 42).unwrap();
 //! // Learn the network back from measurements alone.
-//! let result = Sgl::new(SglConfig::default()).learn(&meas).unwrap();
+//! let cfg = SglConfig::builder().k(5).r(5).beta(1e-3).build().unwrap();
+//! let result = Sgl::new(cfg).learn(&meas).unwrap();
 //! assert!(result.graph.num_nodes() == truth.num_nodes());
 //! ```
+//!
+//! # The staged pipeline
+//!
+//! For per-iteration observation, swappable stage backends, or
+//! measurements that arrive in batches, drive an [`SglSession`]
+//! (`Sgl::learn` is a thin facade over it):
+//!
+//! ```
+//! use sgl::prelude::*;
+//!
+//! let truth = sgl_datasets::grid2d(6, 6);
+//! let meas = Measurements::generate(&truth, 15, 1).unwrap();
+//! let cfg = SglConfig::builder().tol(1e-6).build().unwrap();
+//! let mut session = SglSession::new(cfg, &meas).unwrap();
+//! session.observe(|r: &IterationRecord| eprintln!("s_max {:.2e}", r.smax));
+//! while !session.is_done() {
+//!     let _outcome = session.step().unwrap(); // StepOutcome per iteration
+//! }
+//! let result = session.finish().unwrap();
+//! assert!(result.converged);
+//! ```
+//!
+//! See `examples/incremental_learning.rs` for batch-by-batch measurement
+//! arrival via [`SglSession::extend_measurements`].
 
 pub use sgl_baseline;
 pub use sgl_core;
@@ -35,6 +64,9 @@ pub use sgl_solver;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use sgl_core::{LearnResult, Measurements, Sgl, SglConfig};
+    pub use sgl_core::{
+        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, Measurements,
+        SessionObserver, Sgl, SglConfig, SglSession, StepOutcome,
+    };
     pub use sgl_graph::Graph;
 }

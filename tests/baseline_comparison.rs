@@ -19,7 +19,9 @@ fn sgl_beats_unscaled_5nn_objective() {
         .unwrap();
     let opts = ObjectiveOptions::default();
     let f_sgl = objective(
-        &result.graph_at_iteration(result.trace.len() - 1),
+        &result
+            .graph_at_iteration(result.trace.len() - 1)
+            .expect("trace index in range"),
         &meas,
         &opts,
     )
@@ -72,9 +74,13 @@ fn sgl_tracks_the_dense_optimizer() {
     .estimate(&meas, &knn)
     .unwrap();
 
-    let result = Sgl::new(SglConfig::default().with_tol(1e-10).with_max_iterations(150))
-        .learn_from_knn(&meas, knn)
-        .unwrap();
+    let result = Sgl::new(
+        SglConfig::default()
+            .with_tol(1e-10)
+            .with_max_iterations(150),
+    )
+    .learn_from_knn(&meas, knn)
+    .unwrap();
 
     // Evaluate both under the same (finite-sigma) objective used by the
     // dense estimator.
@@ -85,7 +91,9 @@ fn sgl_tracks_the_dense_optimizer() {
     };
     let f_dense = objective(&dense.graph, &meas, &opts).unwrap().total;
     let f_sgl = objective(
-        &result.graph_at_iteration(result.trace.len() - 1),
+        &result
+            .graph_at_iteration(result.trace.len() - 1)
+            .expect("trace index in range"),
         &meas,
         &opts,
     )

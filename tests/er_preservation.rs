@@ -4,9 +4,7 @@
 //! structure (Fig. 7).
 
 use sgl::prelude::*;
-use sgl_core::{
-    pairwise_effective_resistances, sample_node_pairs, ResistanceSketch,
-};
+use sgl_core::{pairwise_effective_resistances, sample_node_pairs, ResistanceSketch};
 use sgl_linalg::vecops;
 
 #[test]
@@ -52,7 +50,10 @@ fn jl_estimate_tightens_with_more_samples() {
         errors[2] < errors[0],
         "error should shrink with samples: {errors:?}"
     );
-    assert!(errors[2] < 0.1, "2000 samples should be accurate: {errors:?}");
+    assert!(
+        errors[2] < 0.1,
+        "2000 samples should be accurate: {errors:?}"
+    );
 }
 
 #[test]

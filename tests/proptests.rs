@@ -1,6 +1,10 @@
 //! Cross-crate property-based tests (proptest): randomized structural
 //! invariants of the measurement pipeline and the learning loop.
 
+// Requires the external `proptest` crate: compiled only with
+// `--features property-tests` in a networked environment.
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use sgl::prelude::*;
 use sgl_core::sensitivity::CandidatePool;

@@ -66,7 +66,11 @@ fn solver_matches_dense_pseudoinverse() {
         vecops::axpy(c, &v, &mut x_ref);
     }
     let d = vecops::sub(&x, &x_ref);
-    assert!(vecops::norm2(&d) < 1e-7, "dense mismatch {}", vecops::norm2(&d));
+    assert!(
+        vecops::norm2(&d) < 1e-7,
+        "dense mismatch {}",
+        vecops::norm2(&d)
+    );
 }
 
 #[test]
