@@ -22,7 +22,7 @@ fn bench_resistance(c: &mut Criterion) {
         b.iter(|| {
             pairs
                 .iter()
-                .map(|&(s, t)| sketch.estimate(s, t))
+                .map(|&(s, t)| sketch.estimate(s, t).unwrap())
                 .sum::<f64>()
         })
     });

@@ -1,0 +1,66 @@
+//! Ablation bench: batched multi-RHS solves ([`SolverHandle::solve_batch`])
+//! vs one-at-a-time [`SolverHandle::solve`] loops, across the iterative
+//! facade and the dense Cholesky reference backend.
+//!
+//! The offline companion `bench_solver` binary emits the same comparison
+//! as `BENCH_solver.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_linalg::{vecops, Rng};
+use sgl_solver::{PolicyMethod, SolverPolicy};
+
+fn rhs_batch(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let mut b = rng.normal_vec(n);
+            vecops::project_out_mean(&mut b);
+            b
+        })
+        .collect()
+}
+
+fn bench_solve_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_batch_vs_sequential");
+    group.sample_size(10);
+    for (method, side, m) in [
+        (PolicyMethod::AmgPcg, 32usize, 32usize),
+        (PolicyMethod::TreePcg, 32, 32),
+        (PolicyMethod::DenseCholesky, 32, 32),
+        (PolicyMethod::DenseCholesky, 32, 128),
+    ] {
+        let g = sgl_datasets::grid2d(side, side);
+        let handle = SolverPolicy::default()
+            .with_method(method)
+            .build_handle(&g)
+            .unwrap();
+        let rhs = rhs_batch(g.num_nodes(), m, 5);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{method:?}_batch"), format!("{}x{m}", side * side)),
+            &rhs,
+            |bench, rhs| bench.iter(|| handle.solve_batch(rhs).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("{method:?}_sequential"),
+                format!("{}x{m}", side * side),
+            ),
+            &rhs,
+            |bench, rhs| {
+                bench.iter(|| {
+                    rhs.iter()
+                        .map(|b| handle.solve(b).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solve_batch
+}
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Baselines the SGL paper compares against (or declines to, for cost):
 //!
-//! * [`knn_baseline`] — the paper's actual comparison: the raw kNN graph
+//! * [`mod@knn_baseline`] — the paper's actual comparison: the raw kNN graph
 //!   with the same spectral edge scaling applied (Figs. 2–3);
 //! * [`dense_gsp`] — a small dense projected-gradient estimator of the
 //!   graphical-Lasso objective (2), standing in for the CVX-based

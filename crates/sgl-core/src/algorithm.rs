@@ -11,7 +11,7 @@
 //! ```
 //!
 //! [`Sgl`] is the one-shot entry point; it is a thin facade over
-//! [`SglSession`](crate::session::SglSession), which exposes the same
+//! [`SglSession`], which exposes the same
 //! loop step-by-step with swappable stage backends, observers, and
 //! incremental measurement batches.
 
@@ -94,7 +94,7 @@ impl LearnResult {
 }
 
 /// The one-shot SGL learner (a facade over
-/// [`SglSession`](crate::session::SglSession)).
+/// [`SglSession`]).
 ///
 /// # Example
 /// ```

@@ -16,14 +16,15 @@
 //!
 //! [`SglSession`]: crate::session::SglSession
 
-use crate::embedding::{spectral_embedding_warm, Embedding, EmbeddingOptions};
+use crate::embedding::{spectral_embedding_ctx, Embedding, EmbeddingOptions};
 use crate::error::SglError;
 use crate::measure::Measurements;
-use crate::scaling::spectral_edge_scaling;
+use crate::scaling::spectral_edge_scaling_with;
 use crate::sensitivity::CandidatePool;
 use sgl_graph::laplacian::laplacian_csr;
 use sgl_graph::Graph;
 use sgl_linalg::{DenseMatrix, SymEig};
+use sgl_solver::SolverContext;
 
 /// Step 2: compute the spectral embedding `U_r` of the current graph.
 pub trait EmbeddingBackend: std::fmt::Debug {
@@ -32,7 +33,9 @@ pub trait EmbeddingBackend: std::fmt::Debug {
 
     /// Embed a connected graph into `width` dimensions with diagonal
     /// shift `1/σ² = shift`. `warm_start` carries the previous
-    /// iteration's eigenvector block when only a few edges changed.
+    /// iteration's eigenvector block when only a few edges changed;
+    /// `ctx` is the session's shared solver context, consulted only by
+    /// backends that need a shift-invert solve.
     ///
     /// # Errors
     /// Returns [`SglError::InvalidGraph`] for unusable graphs and
@@ -44,6 +47,7 @@ pub trait EmbeddingBackend: std::fmt::Debug {
         shift: f64,
         opts: &EmbeddingOptions,
         warm_start: Option<&DenseMatrix>,
+        ctx: &mut SolverContext,
     ) -> Result<Embedding, SglError>;
 }
 
@@ -64,8 +68,9 @@ impl EmbeddingBackend for LanczosBackend {
         shift: f64,
         opts: &EmbeddingOptions,
         warm_start: Option<&DenseMatrix>,
+        ctx: &mut SolverContext,
     ) -> Result<Embedding, SglError> {
-        spectral_embedding_warm(graph, width, shift, opts, warm_start)
+        spectral_embedding_ctx(graph, width, shift, opts, warm_start, ctx)
     }
 }
 
@@ -104,6 +109,7 @@ impl EmbeddingBackend for DenseEigBackend {
         shift: f64,
         _opts: &EmbeddingOptions,
         _warm_start: Option<&DenseMatrix>,
+        _ctx: &mut SolverContext,
     ) -> Result<Embedding, SglError> {
         let n = graph.num_nodes();
         if n < 2 {
@@ -207,7 +213,9 @@ impl StoppingRule for SensitivityThreshold {
 /// Step 5: rescale the learned graph's weights against the measurements.
 pub trait EdgeScaler: std::fmt::Debug {
     /// Scale `graph` in place, returning the applied factor (`None` when
-    /// the step is skipped, e.g. for voltage-only measurements).
+    /// the step is skipped, e.g. for voltage-only measurements). `ctx`
+    /// is the session's shared solver context; a scaler that mutates
+    /// weights must invalidate it.
     ///
     /// # Errors
     /// Propagates solver failures.
@@ -215,6 +223,7 @@ pub trait EdgeScaler: std::fmt::Debug {
         &self,
         graph: &mut Graph,
         measurements: &Measurements,
+        ctx: &mut SolverContext,
     ) -> Result<Option<f64>, SglError>;
 }
 
@@ -228,11 +237,16 @@ impl EdgeScaler for SpectralScaler {
         &self,
         graph: &mut Graph,
         measurements: &Measurements,
+        ctx: &mut SolverContext,
     ) -> Result<Option<f64>, SglError> {
         if measurements.currents().is_none() {
             return Ok(None);
         }
-        Ok(Some(spectral_edge_scaling(graph, measurements)?))
+        let handle = ctx.handle_for(graph)?;
+        let factor = spectral_edge_scaling_with(graph, measurements, handle.as_ref())?;
+        // The weights just changed uniformly; the cached handle is stale.
+        ctx.invalidate();
+        Ok(Some(factor))
     }
 }
 
@@ -241,7 +255,12 @@ impl EdgeScaler for SpectralScaler {
 pub struct NoScaler;
 
 impl EdgeScaler for NoScaler {
-    fn scale(&self, _graph: &mut Graph, _m: &Measurements) -> Result<Option<f64>, SglError> {
+    fn scale(
+        &self,
+        _graph: &mut Graph,
+        _m: &Measurements,
+        _ctx: &mut SolverContext,
+    ) -> Result<Option<f64>, SglError> {
         Ok(None)
     }
 }
@@ -250,14 +269,21 @@ impl EdgeScaler for NoScaler {
 mod tests {
     use super::*;
     use sgl_datasets::grid2d;
+    use sgl_solver::SolverPolicy;
+
+    fn ctx() -> SolverContext {
+        SolverContext::new(SolverPolicy::default())
+    }
 
     #[test]
     fn dense_backend_matches_lanczos_eigenvalues() {
         let g = grid2d(5, 4);
         let opts = EmbeddingOptions::default();
-        let a = LanczosBackend.embed(&g, 3, 0.0, &opts, None).unwrap();
+        let a = LanczosBackend
+            .embed(&g, 3, 0.0, &opts, None, &mut ctx())
+            .unwrap();
         let b = DenseEigBackend::default()
-            .embed(&g, 3, 0.0, &opts, None)
+            .embed(&g, 3, 0.0, &opts, None, &mut ctx())
             .unwrap();
         for (x, y) in a.eigenvalues.iter().zip(&b.eigenvalues) {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
@@ -271,10 +297,10 @@ mod tests {
         let g = grid2d(5, 5);
         let opts = EmbeddingOptions::default();
         assert!(DenseEigBackend::with_limit(10)
-            .embed(&g, 3, 0.0, &opts, None)
+            .embed(&g, 3, 0.0, &opts, None, &mut ctx())
             .is_err());
         assert!(DenseEigBackend::with_limit(0)
-            .embed(&g, 3, 0.0, &opts, None)
+            .embed(&g, 3, 0.0, &opts, None, &mut ctx())
             .is_ok());
     }
 
@@ -283,7 +309,7 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
         let opts = EmbeddingOptions::default();
         assert!(DenseEigBackend::default()
-            .embed(&g, 1, 0.0, &opts, None)
+            .embed(&g, 1, 0.0, &opts, None, &mut ctx())
             .is_err());
     }
 
@@ -300,9 +326,19 @@ mod tests {
         let meas = Measurements::generate(&g, 5, 1).unwrap();
         let volts = Measurements::from_voltages(meas.voltages().clone()).unwrap();
         let mut learned = g.clone();
-        assert_eq!(SpectralScaler.scale(&mut learned, &volts).unwrap(), None);
-        assert!(SpectralScaler.scale(&mut learned, &meas).unwrap().is_some());
+        let mut c = ctx();
+        assert_eq!(
+            SpectralScaler.scale(&mut learned, &volts, &mut c).unwrap(),
+            None
+        );
+        // Voltage-only skip never builds a solver.
+        assert_eq!(c.handles_built(), 0);
+        assert!(SpectralScaler
+            .scale(&mut learned, &meas, &mut c)
+            .unwrap()
+            .is_some());
+        assert_eq!(c.handles_built(), 1);
         let mut learned2 = g.clone();
-        assert_eq!(NoScaler.scale(&mut learned2, &meas).unwrap(), None);
+        assert_eq!(NoScaler.scale(&mut learned2, &meas, &mut c).unwrap(), None);
     }
 }

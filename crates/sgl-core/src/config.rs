@@ -4,24 +4,37 @@
 //! run. Construct one with [`SglConfig::builder`]:
 //!
 //! ```
-//! use sgl_core::SglConfig;
+//! use sgl_core::{PolicyMethod, ResistanceMethod, SglConfig};
 //!
 //! let cfg = SglConfig::builder()
 //!     .k(5)
 //!     .r(5)
 //!     .beta(1e-3)
 //!     .tol(1e-9)
+//!     // Every Laplacian solve in the run honors this policy...
+//!     .solver_method(PolicyMethod::AmgPcg)
+//!     .solver_rtol(1e-10)
+//!     // ...and resistances come from the chosen estimator (the
+//!     // spectral sketch needs no solver at all).
+//!     .resistance(ResistanceMethod::SpectralSketch { width: 0 })
 //!     .build()?;
 //! assert_eq!(cfg.k, 5);
+//! assert_eq!(cfg.solver.method, PolicyMethod::AmgPcg);
 //! # Ok::<(), sgl_core::SglError>(())
 //! ```
 //!
 //! `k` lives only on [`SglConfig`]; the kNN backend settings
 //! ([`KnnSettings`]) deliberately exclude it so there is a single source
-//! of truth for the neighbor count.
+//! of truth for the neighbor count. Likewise the solve layer has a
+//! single source of truth: [`SglConfig::solver`] is the
+//! [`SolverPolicy`] behind **every** solve the session performs — edge
+//! scaling, shift-invert embedding fallback, and resistance sketching
+//! all share one policy-built handle per learned-graph revision.
 
 use crate::error::SglError;
+use crate::resistance::ResistanceMethod;
 use sgl_knn::{KnnGraphConfig, KnnMethod};
+use sgl_solver::{PolicyMethod, ReuseMode, SolverPolicy};
 
 /// kNN construction settings *minus* the neighbor count `k`, which is
 /// owned by [`SglConfig::k`] alone.
@@ -89,6 +102,18 @@ pub struct SglConfig {
     pub scale_edges: bool,
     /// Seed for the eigensolver's random initial blocks.
     pub seed: u64,
+    /// How the pipeline solves Laplacian systems (method, tolerance,
+    /// iteration cap, handle reuse). The session builds **one**
+    /// [`SolverHandle`](sgl_solver::SolverHandle) per learned-graph
+    /// revision from this policy and shares it across edge scaling,
+    /// shift-invert embedding, and resistance sketching — so changing
+    /// the policy here changes every solve in the run, end to end.
+    pub solver: SolverPolicy,
+    /// Which effective-resistance estimator
+    /// ([`ResistanceEstimator`](crate::resistance::ResistanceEstimator))
+    /// the pipeline materializes: exact solves, the JL sketch, or the
+    /// solver-free spectral sketch.
+    pub resistance: ResistanceMethod,
 }
 
 impl Default for SglConfig {
@@ -105,6 +130,8 @@ impl Default for SglConfig {
             eig_max_iter: 400,
             scale_edges: true,
             seed: 0x5617,
+            solver: SolverPolicy::default(),
+            resistance: ResistanceMethod::default(),
         }
     }
 }
@@ -166,6 +193,9 @@ impl SglConfig {
                 "eig_max_iter must be at least 1".into(),
             ));
         }
+        self.solver
+            .validate()
+            .map_err(|e| SglError::InvalidConfig(format!("solver policy: {e}")))?;
         Ok(())
     }
 
@@ -217,6 +247,18 @@ impl SglConfig {
     /// Builder-style setter for edge scaling.
     pub fn with_scale_edges(mut self, on: bool) -> Self {
         self.scale_edges = on;
+        self
+    }
+
+    /// Builder-style setter for the solver policy.
+    pub fn with_solver_policy(mut self, solver: SolverPolicy) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Builder-style setter for the resistance estimator.
+    pub fn with_resistance(mut self, resistance: ResistanceMethod) -> Self {
+        self.resistance = resistance;
         self
     }
 }
@@ -302,6 +344,44 @@ impl SglConfigBuilder {
     /// Seed for the eigensolver's random initial blocks.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Replace the whole solver policy (method, tolerance, iteration
+    /// cap, reuse mode) in one call.
+    pub fn solver_policy(mut self, solver: SolverPolicy) -> Self {
+        self.cfg.solver = solver;
+        self
+    }
+
+    /// Laplacian solve method for every solve in the pipeline.
+    pub fn solver_method(mut self, method: PolicyMethod) -> Self {
+        self.cfg.solver.method = method;
+        self
+    }
+
+    /// Relative residual tolerance for the pipeline's Laplacian solves.
+    pub fn solver_rtol(mut self, rtol: f64) -> Self {
+        self.cfg.solver.rtol = rtol;
+        self
+    }
+
+    /// Iteration cap for the pipeline's Laplacian solves.
+    pub fn solver_max_iter(mut self, max_iter: usize) -> Self {
+        self.cfg.solver.max_iter = max_iter;
+        self
+    }
+
+    /// Solver-handle reuse mode (per graph revision vs. per call).
+    pub fn solver_reuse(mut self, reuse: ReuseMode) -> Self {
+        self.cfg.solver.reuse = reuse;
+        self
+    }
+
+    /// Effective-resistance estimator strategy (exact, JL sketch, or the
+    /// solver-free spectral sketch).
+    pub fn resistance(mut self, resistance: ResistanceMethod) -> Self {
+        self.cfg.resistance = resistance;
         self
     }
 
@@ -430,6 +510,30 @@ mod tests {
         assert!(SglConfig::builder().r(1).build().is_err());
         assert!(SglConfig::builder().eig_tol(0.0).build().is_err());
         assert!(SglConfig::builder().eig_max_iter(0).build().is_err());
+    }
+
+    #[test]
+    fn solver_policy_threads_through_builder() {
+        let c = SglConfig::builder()
+            .solver_method(PolicyMethod::DenseCholesky)
+            .solver_rtol(1e-8)
+            .solver_max_iter(500)
+            .solver_reuse(ReuseMode::PerCall)
+            .resistance(ResistanceMethod::SpectralSketch { width: 16 })
+            .build()
+            .unwrap();
+        assert_eq!(c.solver.method, PolicyMethod::DenseCholesky);
+        assert_eq!(c.solver.rtol, 1e-8);
+        assert_eq!(c.solver.max_iter, 500);
+        assert_eq!(c.solver.reuse, ReuseMode::PerCall);
+        assert_eq!(c.resistance, ResistanceMethod::SpectralSketch { width: 16 });
+        // Policy violations are caught at build() time.
+        assert!(SglConfig::builder().solver_rtol(0.0).build().is_err());
+        assert!(SglConfig::builder().solver_max_iter(0).build().is_err());
+        assert!(SglConfig::builder()
+            .solver_policy(SolverPolicy::default().with_rtol(f64::NAN))
+            .build()
+            .is_err());
     }
 
     #[test]

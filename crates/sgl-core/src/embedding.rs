@@ -15,8 +15,9 @@ use sgl_graph::laplacian::LaplacianOp;
 use sgl_graph::Graph;
 use sgl_linalg::lanczos::{lanczos_largest, lanczos_smallest, LanczosOptions};
 use sgl_linalg::lobpcg::{lobpcg_with_guess, LobpcgOptions};
-use sgl_linalg::{vecops, DenseMatrix, FnOperator, ProjectedOperator};
-use sgl_solver::{AmgHierarchy, AmgOptions, LaplacianSolver, SolverOptions};
+use sgl_linalg::{vecops, DenseMatrix, FnOperator, LinalgError, ProjectedOperator};
+use sgl_solver::{AmgHierarchy, AmgOptions, SolverContext, SolverHandle, SolverPolicy};
+use std::cell::RefCell;
 
 /// A spectral embedding `U_r` (eq. 12): row `u` is node `u`'s coordinate.
 #[derive(Debug, Clone)]
@@ -96,6 +97,25 @@ pub fn spectral_embedding_warm(
     opts: &EmbeddingOptions,
     warm_start: Option<&DenseMatrix>,
 ) -> Result<Embedding, SglError> {
+    let mut ctx = SolverContext::new(SolverPolicy::default());
+    spectral_embedding_ctx(graph, width, shift, opts, warm_start, &mut ctx)
+}
+
+/// [`spectral_embedding_warm`] drawing any needed shift-invert solver
+/// from a shared [`SolverContext`] — the session path. The context is
+/// only touched when LOBPCG stalls and the Lanczos fallback engages, so
+/// a converging run builds no solver at all.
+///
+/// # Errors
+/// See [`spectral_embedding`].
+pub fn spectral_embedding_ctx(
+    graph: &Graph,
+    width: usize,
+    shift: f64,
+    opts: &EmbeddingOptions,
+    warm_start: Option<&DenseMatrix>,
+    ctx: &mut SolverContext,
+) -> Result<Embedding, SglError> {
     let n = graph.num_nodes();
     if n < 2 {
         return Err(SglError::InvalidGraph(
@@ -132,9 +152,10 @@ pub fn spectral_embedding_warm(
         Err(sgl_linalg::LinalgError::NotConverged { .. }) => {
             // Extreme weight spreads (e.g. very few measurements with
             // near-duplicate rows) can stall LOBPCG; shift-invert Lanczos
-            // through a tree-preconditioned solve is far more robust for
-            // tightly clustered smallest eigenvalues.
-            shift_invert_fallback(graph, width, &ones, opts)?
+            // through a fast solve is far more robust for tightly
+            // clustered smallest eigenvalues.
+            let handle = ctx.handle_for(graph)?;
+            shift_invert_fallback(handle.as_ref(), width, &ones, opts)?
         }
         Err(e) => return Err(e.into()),
     };
@@ -153,27 +174,52 @@ pub fn spectral_embedding_warm(
     })
 }
 
+/// Apply `L⁺` through `handle` inside an eigensolver, capturing the
+/// first inner-solve failure instead of panicking: the operator keeps
+/// satisfying its infallible signature by yielding zeros, and the caller
+/// checks the slot as soon as the eigensolver returns.
+fn shift_invert_lanczos(
+    handle: &dyn SolverHandle,
+    width: usize,
+    ones: &[f64],
+    lanczos_opts: &LanczosOptions,
+) -> Result<sgl_linalg::SpectralPairs, SglError> {
+    let n = handle.num_nodes();
+    let solve_error: RefCell<Option<LinalgError>> = RefCell::new(None);
+    let apply = FnOperator::new(n, |x: &[f64], y: &mut [f64]| {
+        if solve_error.borrow().is_some() {
+            y.fill(0.0);
+            return;
+        }
+        match handle.solve(x) {
+            Ok(sol) => y.copy_from_slice(&sol),
+            Err(e) => {
+                *solve_error.borrow_mut() = Some(e);
+                y.fill(0.0);
+            }
+        }
+    });
+    let projected = ProjectedOperator::new(apply);
+    let pairs = lanczos_largest(&projected, width, &[ones.to_vec()], lanczos_opts);
+    if let Some(e) = solve_error.borrow_mut().take() {
+        return Err(e.into());
+    }
+    Ok(pairs?)
+}
+
 /// Robust fallback for [`spectral_embedding`]: shift-invert Lanczos with
 /// the Laplacian applied through a fast solver.
 fn shift_invert_fallback(
-    graph: &Graph,
+    handle: &dyn SolverHandle,
     width: usize,
     ones: &[f64],
     opts: &EmbeddingOptions,
 ) -> Result<sgl_linalg::LobpcgResult, SglError> {
-    let n = graph.num_nodes();
-    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
-    let apply = FnOperator::new(n, move |x: &[f64], y: &mut [f64]| {
-        let sol = solver
-            .solve(x)
-            .expect("inner laplacian solve failed during embedding fallback");
-        y.copy_from_slice(&sol);
-    });
-    let projected = ProjectedOperator::new(apply);
-    let pairs = lanczos_largest(
-        &projected,
+    let n = handle.num_nodes();
+    let pairs = shift_invert_lanczos(
+        handle,
         width,
-        &[ones.to_vec()],
+        ones,
         &LanczosOptions {
             tol: (opts.tol * 1e-2).max(1e-12),
             max_subspace: (6 * width + 80).min(n - 1),
@@ -209,7 +255,9 @@ pub enum SpectrumMethod {
 
 /// First `k` nonzero Laplacian eigenvalues (ascending) of a connected
 /// graph — the quantities plotted in the paper's eigenvalue scatter plots
-/// and used by the objective evaluation.
+/// and used by the objective evaluation. Any shift-invert solver is
+/// built from the default [`SolverPolicy`]; use
+/// [`smallest_nonzero_eigenvalues_with`] to control it.
 ///
 /// # Errors
 /// Propagates eigensolver/solver failures; rejects `k ≥ N`.
@@ -217,6 +265,20 @@ pub fn smallest_nonzero_eigenvalues(
     graph: &Graph,
     k: usize,
     method: SpectrumMethod,
+) -> Result<Vec<f64>, SglError> {
+    smallest_nonzero_eigenvalues_with(graph, k, method, &SolverPolicy::default())
+}
+
+/// [`smallest_nonzero_eigenvalues`] with an explicit solver policy for
+/// the shift-invert path ([`SpectrumMethod::Direct`] never solves).
+///
+/// # Errors
+/// See [`smallest_nonzero_eigenvalues`].
+pub fn smallest_nonzero_eigenvalues_with(
+    graph: &Graph,
+    k: usize,
+    method: SpectrumMethod,
+    policy: &SolverPolicy,
 ) -> Result<Vec<f64>, SglError> {
     let n = graph.num_nodes();
     if k + 1 > n {
@@ -241,16 +303,11 @@ pub fn smallest_nonzero_eigenvalues(
             Ok(pairs.values)
         }
         SpectrumMethod::ShiftInvert => {
-            let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
-            let apply = FnOperator::new(n, move |x: &[f64], y: &mut [f64]| {
-                let sol = solver.solve(x).expect("inner laplacian solve failed");
-                y.copy_from_slice(&sol);
-            });
-            let projected = ProjectedOperator::new(apply);
-            let pairs = lanczos_largest(
-                &projected,
+            let handle = policy.build_handle(graph)?;
+            let pairs = shift_invert_lanczos(
+                handle.as_ref(),
                 k,
-                &[ones],
+                &ones,
                 &LanczosOptions {
                     tol: 1e-8,
                     max_subspace: (3 * k + 40).min(n - 1),

@@ -48,7 +48,7 @@
 //! ```
 //!
 //! Beyond the learner itself the crate ships every instrument the paper's
-//! evaluation uses: the objective of eq. (2) ([`objective`]), effective
+//! evaluation uses: the objective of eq. (2) ([`mod@objective`]), effective
 //! resistances and their JL sketch ([`resistance`]), spectrum comparison
 //! ([`metrics`]), spectral drawing/clustering ([`drawing`],
 //! [`clustering`]), noisy measurements ([`Measurements::with_noise`]) and
@@ -78,7 +78,8 @@ pub use backend::{
 };
 pub use config::{KnnSettings, SglConfig, SglConfigBuilder};
 pub use embedding::{
-    smallest_nonzero_eigenvalues, spectral_embedding, Embedding, EmbeddingOptions, SpectrumMethod,
+    smallest_nonzero_eigenvalues, smallest_nonzero_eigenvalues_with, spectral_embedding, Embedding,
+    EmbeddingOptions, SpectrumMethod,
 };
 pub use error::SglError;
 pub use measure::Measurements;
@@ -87,8 +88,17 @@ pub use objective::{objective, ObjectiveOptions, ObjectiveValue};
 pub use reduction::{learn_reduced, ReducedResult};
 pub use refine::{refine_weights, RefineOptions, RefineRecord};
 pub use resistance::{
-    effective_resistance, pairwise_effective_resistances, sample_node_pairs, ResistanceSketch,
+    build_resistance_estimator, effective_resistance, pairwise_effective_resistances,
+    sample_node_pairs, ExactSolve, JlSketch, ResistanceEstimator, ResistanceMethod,
+    ResistanceSketch, SpectralSketch,
 };
-pub use scaling::{edge_scale_factor, spectral_edge_scaling};
+pub use scaling::{
+    edge_scale_factor, edge_scale_factor_with, spectral_edge_scaling, spectral_edge_scaling_with,
+};
 pub use sensitivity::{Candidate, CandidatePool};
 pub use session::{SessionObserver, SglSession, StepOutcome};
+// The solve-layer vocabulary types, re-exported so configuring a session
+// does not require a direct sgl-solver dependency.
+pub use sgl_solver::{
+    PolicyMethod, ReuseMode, SolveStats, SolverContext, SolverHandle, SolverPolicy,
+};

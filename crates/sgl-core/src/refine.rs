@@ -124,7 +124,7 @@ pub fn refine_weights(
         let num_edges = graph.num_edges();
         for i in 0..num_edges {
             let e = graph.edge(i);
-            let reff = sketch.estimate(e.u, e.v).max(f64::MIN_POSITIVE);
+            let reff = sketch.estimate(e.u, e.v)?.max(f64::MIN_POSITIVE);
             let eta = (m * reff / zdata[i]).max(f64::MIN_POSITIVE);
             let log_eta = eta.ln();
             max_log = max_log.max(log_eta.abs());

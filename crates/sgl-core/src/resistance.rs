@@ -1,58 +1,250 @@
-//! Effective resistance computation — exact (Laplacian solves) and
-//! sketched (the Spielman–Srivastava Johnson–Lindenstrauss projection the
-//! paper's sample-complexity analysis builds on).
+//! Effective resistance computation behind one trait —
+//! [`ResistanceEstimator`] — with three interchangeable strategies:
+//!
+//! * [`ExactSolve`] — one Laplacian solve per pair through a shared
+//!   [`SolverHandle`] (batched over pair lists);
+//! * [`JlSketch`] (the [`ResistanceSketch`]) — the Spielman–Srivastava
+//!   Johnson–Lindenstrauss projection the paper's sample-complexity
+//!   analysis builds on: `q` batched solves of preprocessing, `O(q)` per
+//!   query;
+//! * [`SpectralSketch`] — a *solver-free* truncated-spectrum sketch in
+//!   the spirit of SF-SGL (Zhang, Zhao & Feng 2023): approximate
+//!   eigenpairs from plain Lanczos (dense eigendecomposition below a
+//!   cutoff), no [`LaplacianSolver`](sgl_solver::LaplacianSolver)
+//!   construction anywhere.
+//!
+//! Which strategy runs is chosen by [`ResistanceMethod`] in
+//! `SglConfig`; a session materializes it with
+//! [`build_resistance_estimator`] against its shared solver context.
 
 use crate::error::SglError;
+use sgl_graph::laplacian::{laplacian_csr, LaplacianOp};
 use sgl_graph::Graph;
-use sgl_linalg::{DenseMatrix, Rng};
-use sgl_solver::{LaplacianSolver, SolverOptions};
+use sgl_linalg::lanczos::{lanczos_smallest, LanczosOptions};
+use sgl_linalg::{DenseMatrix, Rng, SymEig};
+use sgl_solver::{SolverContext, SolverHandle, SolverPolicy};
+use std::sync::Arc;
 
-/// Exact effective resistance between two nodes via one Laplacian solve:
-/// `R(s,t) = (e_s − e_t)ᵀ L⁺ (e_s − e_t)`.
+/// Which effective-resistance estimator the pipeline should use
+/// (plain data, carried by `SglConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResistanceMethod {
+    /// One exact Laplacian solve per queried pair (batched per list).
+    #[default]
+    ExactSolve,
+    /// JL sketch with the given projection count (0 = auto:
+    /// [`ResistanceSketch::recommended_projections`] at ε = 0.5).
+    JlSketch {
+        /// Number of random projections `q` (0 = auto).
+        projections: usize,
+    },
+    /// Solver-free truncated-spectrum sketch with the given width
+    /// (0 = auto: full spectrum up to [`SpectralSketch::AUTO_WIDTH_CAP`]).
+    SpectralSketch {
+        /// Number of nontrivial eigenpairs retained (0 = auto).
+        width: usize,
+    },
+}
+
+/// A prepared effective-resistance oracle for one fixed graph.
+pub trait ResistanceEstimator: std::fmt::Debug {
+    /// Short strategy name (for logs and traces).
+    fn name(&self) -> &'static str;
+
+    /// Number of nodes of the prepared graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Effective resistance (estimate) between two distinct nodes.
+    ///
+    /// # Errors
+    /// Returns [`SglError::OutOfRange`] for out-of-range or equal
+    /// indices; propagates solver failures.
+    fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError>;
+
+    /// Resistances for a batch of pairs.
+    ///
+    /// # Errors
+    /// See [`ResistanceEstimator::resistance`].
+    fn resistances(&self, pairs: &[(usize, usize)]) -> Result<Vec<f64>, SglError> {
+        pairs.iter().map(|&(s, t)| self.resistance(s, t)).collect()
+    }
+}
+
+/// Build the estimator described by `method` for `graph`, drawing any
+/// needed solver handle from the shared context (the session path).
+///
+/// [`ResistanceMethod::SpectralSketch`] never touches the context — the
+/// solver-free pipeline stays solver-free.
 ///
 /// # Errors
-/// Propagates solver failures.
+/// Propagates solver/eigensolver construction failures.
+pub fn build_resistance_estimator(
+    graph: &Graph,
+    method: ResistanceMethod,
+    ctx: &mut SolverContext,
+    seed: u64,
+) -> Result<Box<dyn ResistanceEstimator>, SglError> {
+    match method {
+        ResistanceMethod::ExactSolve => {
+            Ok(Box::new(ExactSolve::from_handle(ctx.handle_for(graph)?)))
+        }
+        ResistanceMethod::JlSketch { projections } => {
+            let q = if projections == 0 {
+                ResistanceSketch::recommended_projections(graph.num_nodes(), 0.5)
+            } else {
+                projections
+            };
+            let handle = ctx.handle_for(graph)?;
+            Ok(Box::new(ResistanceSketch::build_with(
+                handle.as_ref(),
+                graph,
+                q,
+                seed,
+            )?))
+        }
+        ResistanceMethod::SpectralSketch { width } => {
+            Ok(Box::new(SpectralSketch::build(graph, width, seed)?))
+        }
+    }
+}
+
+fn check_pair(n: usize, s: usize, t: usize) -> Result<(), SglError> {
+    if s >= n || t >= n {
+        return Err(SglError::OutOfRange(format!(
+            "node pair ({s}, {t}) out of range for {n} nodes"
+        )));
+    }
+    if s == t {
+        return Err(SglError::OutOfRange(format!(
+            "effective resistance needs distinct nodes, got ({s}, {s})"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// ExactSolve
+// ---------------------------------------------------------------------------
+
+/// Exact effective resistances via `R(s,t) = (e_s − e_t)ᵀ L⁺ (e_s − e_t)`
+/// through a shared [`SolverHandle`]; pair lists go through one
+/// [`solve_batch`](SolverHandle::solve_batch) call.
+#[derive(Clone)]
+pub struct ExactSolve {
+    handle: Arc<dyn SolverHandle>,
+}
+
+impl std::fmt::Debug for ExactSolve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactSolve")
+            .field("num_nodes", &self.handle.num_nodes())
+            .field("method", &self.handle.method_name())
+            .finish()
+    }
+}
+
+impl ExactSolve {
+    /// Wrap an already-built handle (the session path).
+    pub fn from_handle(handle: Arc<dyn SolverHandle>) -> Self {
+        ExactSolve { handle }
+    }
+
+    /// Build a handle for `graph` under `policy`, then wrap it.
+    ///
+    /// # Errors
+    /// Propagates solver construction failures.
+    pub fn build(graph: &Graph, policy: &SolverPolicy) -> Result<Self, SglError> {
+        Ok(ExactSolve {
+            handle: policy.build_handle(graph)?,
+        })
+    }
+}
+
+impl ResistanceEstimator for ExactSolve {
+    fn name(&self) -> &'static str {
+        "exact-solve"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.handle.num_nodes()
+    }
+
+    fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError> {
+        effective_resistance(self.handle.as_ref(), s, t)
+    }
+
+    fn resistances(&self, pairs: &[(usize, usize)]) -> Result<Vec<f64>, SglError> {
+        let n = self.num_nodes();
+        let mut rhs = Vec::with_capacity(pairs.len());
+        for &(s, t) in pairs {
+            check_pair(n, s, t)?;
+            let mut b = vec![0.0; n];
+            b[s] = 1.0;
+            b[t] = -1.0;
+            rhs.push(b);
+        }
+        let xs = self.handle.solve_batch(&rhs)?;
+        Ok(pairs
+            .iter()
+            .zip(&xs)
+            .map(|(&(s, t), x)| x[s] - x[t])
+            .collect())
+    }
+}
+
+/// Exact effective resistance between two nodes via one solve on a
+/// prepared handle.
 ///
-/// # Panics
-/// Panics if `s == t` or either index is out of range.
-pub fn effective_resistance(solver: &LaplacianSolver, s: usize, t: usize) -> Result<f64, SglError> {
-    let n = solver.num_nodes();
-    assert!(s < n && t < n, "node index out of range");
-    assert_ne!(s, t, "effective resistance needs distinct nodes");
+/// # Errors
+/// Returns [`SglError::OutOfRange`] for out-of-range or equal indices;
+/// propagates solver failures.
+pub fn effective_resistance(
+    handle: &dyn SolverHandle,
+    s: usize,
+    t: usize,
+) -> Result<f64, SglError> {
+    let n = handle.num_nodes();
+    check_pair(n, s, t)?;
     let mut b = vec![0.0; n];
     b[s] = 1.0;
     b[t] = -1.0;
-    let x = solver.solve(&b)?;
+    let x = handle.solve(&b)?;
     Ok(x[s] - x[t])
 }
 
-/// Exact effective resistances for a batch of node pairs (one solver
-/// setup, one solve per pair).
+/// Exact effective resistances for a batch of node pairs: one
+/// default-policy handle, one batched solve.
 ///
 /// # Errors
-/// Propagates solver construction/solve failures.
+/// Propagates solver construction/solve failures; returns
+/// [`SglError::OutOfRange`] for invalid pairs.
 pub fn pairwise_effective_resistances(
     graph: &Graph,
     pairs: &[(usize, usize)],
 ) -> Result<Vec<f64>, SglError> {
-    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
-    pairs
-        .iter()
-        .map(|&(s, t)| effective_resistance(&solver, s, t))
-        .collect()
+    ExactSolve::build(graph, &SolverPolicy::default())?.resistances(pairs)
 }
+
+// ---------------------------------------------------------------------------
+// JlSketch
+// ---------------------------------------------------------------------------
 
 /// A JL sketch of the effective-resistance metric: `q` random projections
 /// of `W^{1/2} B L⁺`, so `R(s,t) ≈ ‖Z e_{s,t}‖²` for any pair in `O(q)`
-/// time after `q` solves of preprocessing.
+/// time after `q` batched solves of preprocessing.
 #[derive(Debug, Clone)]
 pub struct ResistanceSketch {
     /// `q × N`, row i = zᵢᵀ with zᵢ = L⁺ Bᵀ W^{1/2} cᵢ.
     rows: DenseMatrix,
 }
 
+/// The estimator name of [`ResistanceMethod::JlSketch`].
+pub type JlSketch = ResistanceSketch;
+
 impl ResistanceSketch {
-    /// Build a sketch with `q` projections.
+    /// Build a sketch with `q` projections through a default-policy
+    /// handle (see [`ResistanceSketch::build_with`] for the shared-handle
+    /// path).
     ///
     /// `q = O(log N / ε²)` yields `(1±ε)` estimates (eq. 18); in practice
     /// `q ≈ 8 ln N` gives usable scatter plots.
@@ -60,17 +252,38 @@ impl ResistanceSketch {
     /// # Errors
     /// Propagates solver failures; rejects `q == 0`.
     pub fn build(graph: &Graph, q: usize, seed: u64) -> Result<Self, SglError> {
+        let handle = SolverPolicy::default().build_handle(graph)?;
+        Self::build_with(handle.as_ref(), graph, q, seed)
+    }
+
+    /// Build a sketch through an existing handle for `graph`: the `q`
+    /// projected right-hand sides are assembled up front and solved in
+    /// one [`solve_batch`](SolverHandle::solve_batch) call.
+    ///
+    /// # Errors
+    /// See [`ResistanceSketch::build`].
+    pub fn build_with(
+        handle: &dyn SolverHandle,
+        graph: &Graph,
+        q: usize,
+        seed: u64,
+    ) -> Result<Self, SglError> {
         if q == 0 {
             return Err(SglError::InvalidConfig(
                 "sketch needs at least one projection".into(),
             ));
         }
         let n = graph.num_nodes();
-        let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+        if handle.num_nodes() != n {
+            return Err(SglError::InvalidGraph(format!(
+                "solver handle prepared for {} nodes, graph has {n}",
+                handle.num_nodes()
+            )));
+        }
         let mut rng = Rng::seed_from_u64(seed);
         let scale = 1.0 / (q as f64).sqrt();
-        let mut rows = DenseMatrix::zeros(q, n);
-        for i in 0..q {
+        let mut rhs = Vec::with_capacity(q);
+        for _ in 0..q {
             // b = Bᵀ W^{1/2} c, assembled edge by edge with c ∈ {±1/√q}.
             let mut b = vec![0.0; n];
             for e in graph.edges() {
@@ -78,8 +291,12 @@ impl ResistanceSketch {
                 b[e.u] += c;
                 b[e.v] -= c;
             }
-            let z = solver.solve(&b)?;
-            rows.row_mut(i).copy_from_slice(&z);
+            rhs.push(b);
+        }
+        let zs = handle.solve_batch(&rhs)?;
+        let mut rows = DenseMatrix::zeros(q, n);
+        for (i, z) in zs.iter().enumerate() {
+            rows.row_mut(i).copy_from_slice(z);
         }
         Ok(ResistanceSketch { rows })
     }
@@ -97,9 +314,11 @@ impl ResistanceSketch {
 
     /// Estimated effective resistance `‖Z e_{s,t}‖²`.
     ///
-    /// # Panics
-    /// Panics on out-of-range indices.
-    pub fn estimate(&self, s: usize, t: usize) -> f64 {
+    /// # Errors
+    /// Returns [`SglError::OutOfRange`] for out-of-range or equal
+    /// indices.
+    pub fn estimate(&self, s: usize, t: usize) -> Result<f64, SglError> {
+        check_pair(self.rows.ncols(), s, t)?;
         let q = self.rows.nrows();
         let mut acc = 0.0;
         for i in 0..q {
@@ -107,7 +326,162 @@ impl ResistanceSketch {
             let d = r[s] - r[t];
             acc += d * d;
         }
-        acc
+        Ok(acc)
+    }
+}
+
+impl ResistanceEstimator for ResistanceSketch {
+    fn name(&self) -> &'static str {
+        "jl-sketch"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.rows.ncols()
+    }
+
+    fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError> {
+        self.estimate(s, t)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpectralSketch (solver-free)
+// ---------------------------------------------------------------------------
+
+/// Solver-free truncated-spectrum resistance sketch (SF-SGL style).
+///
+/// Uses the spectral expansion `R(s,t) = Σ_{j≥2} (u_j[s] − u_j[t])²/λ_j`
+/// truncated to `width` nontrivial eigenpairs, stored as rows
+/// `u_j/√λ_j` so queries are the same squared row-distance as the JL
+/// sketch. Eigenpairs come from a dense eigendecomposition below
+/// [`SpectralSketch::DENSE_CUTOFF`] nodes (where the truncation can run
+/// to the full spectrum and the sketch is *exact*) and from plain
+/// Lanczos on `L` above it — no Laplacian solver is ever constructed,
+/// which is the SF-SGL observation: the resistance step of the learning
+/// loop does not need one.
+///
+/// Truncation makes the estimate a *lower bound* (eq. 20) that tightens
+/// as `width` grows and is exact at `width = N − 1`.
+#[derive(Debug, Clone)]
+pub struct SpectralSketch {
+    /// `width × N`, row j = `u_{j+2}ᵀ / √λ_{j+2}`.
+    rows: DenseMatrix,
+    /// The retained nontrivial eigenvalues (ascending).
+    eigenvalues: Vec<f64>,
+}
+
+impl SpectralSketch {
+    /// Below this node count the full dense spectrum is used.
+    pub const DENSE_CUTOFF: usize = 512;
+    /// Auto width: `min(N − 1, AUTO_WIDTH_CAP)`.
+    pub const AUTO_WIDTH_CAP: usize = 128;
+
+    /// Build a sketch with `width` nontrivial eigenpairs (0 = auto:
+    /// the full spectrum below [`SpectralSketch::DENSE_CUTOFF`] nodes,
+    /// otherwise [`SpectralSketch::AUTO_WIDTH_CAP`]).
+    ///
+    /// # Errors
+    /// Returns [`SglError::InvalidGraph`] for empty/disconnected graphs
+    /// and propagates eigensolver failures.
+    pub fn build(graph: &Graph, width: usize, seed: u64) -> Result<Self, SglError> {
+        let n = graph.num_nodes();
+        if n < 2 {
+            return Err(SglError::InvalidGraph(
+                "resistance sketch needs at least two nodes".into(),
+            ));
+        }
+        if !sgl_graph::traversal::is_connected(graph) {
+            return Err(SglError::InvalidGraph(
+                "resistance sketch requires a connected graph".into(),
+            ));
+        }
+        let full = n - 1;
+        let width = if width == 0 {
+            if n <= Self::DENSE_CUTOFF {
+                full
+            } else {
+                full.min(Self::AUTO_WIDTH_CAP)
+            }
+        } else {
+            width.min(full)
+        };
+        let (values, vectors): (Vec<f64>, Vec<Vec<f64>>) =
+            if n <= Self::DENSE_CUTOFF || width + 1 >= n {
+                let eig = SymEig::compute(&laplacian_csr(graph).to_dense())?;
+                (
+                    eig.values[1..=width].to_vec(),
+                    (1..=width).map(|j| eig.vectors.column(j)).collect(),
+                )
+            } else {
+                let op = LaplacianOp::new(graph);
+                let ones = vec![1.0; n];
+                let pairs = lanczos_smallest(
+                    &op,
+                    width,
+                    &[ones],
+                    &LanczosOptions {
+                        tol: 1e-8,
+                        max_subspace: (4 * width + 80).min(n - 1),
+                        seed,
+                    },
+                )?;
+                (
+                    pairs.values.clone(),
+                    (0..width).map(|j| pairs.vectors.column(j)).collect(),
+                )
+            };
+        let mut rows = DenseMatrix::zeros(width, n);
+        for (j, v) in vectors.iter().enumerate() {
+            let denom = values[j].max(f64::MIN_POSITIVE).sqrt();
+            let row = rows.row_mut(j);
+            for (r, x) in row.iter_mut().zip(v) {
+                *r = x / denom;
+            }
+        }
+        Ok(SpectralSketch {
+            rows,
+            eigenvalues: values,
+        })
+    }
+
+    /// Number of retained nontrivial eigenpairs.
+    pub fn width(&self) -> usize {
+        self.rows.nrows()
+    }
+
+    /// The retained nontrivial eigenvalues (ascending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Estimated effective resistance (truncated spectral sum).
+    ///
+    /// # Errors
+    /// Returns [`SglError::OutOfRange`] for out-of-range or equal
+    /// indices.
+    pub fn estimate(&self, s: usize, t: usize) -> Result<f64, SglError> {
+        check_pair(self.rows.ncols(), s, t)?;
+        let mut acc = 0.0;
+        for j in 0..self.rows.nrows() {
+            let r = self.rows.row(j);
+            let d = r[s] - r[t];
+            acc += d * d;
+        }
+        Ok(acc)
+    }
+}
+
+impl ResistanceEstimator for SpectralSketch {
+    fn name(&self) -> &'static str {
+        "spectral-sketch"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.rows.ncols()
+    }
+
+    fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError> {
+        self.estimate(s, t)
     }
 }
 
@@ -139,13 +513,17 @@ mod tests {
     use sgl_datasets::grid2d;
     use sgl_linalg::vecops;
 
+    fn default_handle(g: &Graph) -> Arc<dyn SolverHandle> {
+        SolverPolicy::default().build_handle(g).unwrap()
+    }
+
     #[test]
     fn path_resistance_is_hop_count() {
         let n = 10;
         let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)));
-        let solver = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
+        let handle = default_handle(&g);
         for t in 1..n {
-            let r = effective_resistance(&solver, 0, t).unwrap();
+            let r = effective_resistance(handle.as_ref(), 0, t).unwrap();
             assert!((r - t as f64).abs() < 1e-8, "R(0,{t}) = {r}");
         }
     }
@@ -156,9 +534,41 @@ mod tests {
         let mut g = Graph::new(2);
         g.add_edge(0, 1, 1.0);
         g.add_edge(0, 1, 3.0); // merges to conductance 4
-        let solver = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
-        let r = effective_resistance(&solver, 0, 1).unwrap();
+        let handle = default_handle(&g);
+        let r = effective_resistance(handle.as_ref(), 0, 1).unwrap();
         assert!((r - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_errors_not_panics() {
+        let g = grid2d(3, 3);
+        let handle = default_handle(&g);
+        assert!(matches!(
+            effective_resistance(handle.as_ref(), 0, 9),
+            Err(SglError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            effective_resistance(handle.as_ref(), 4, 4),
+            Err(SglError::OutOfRange(_))
+        ));
+        let sketch = ResistanceSketch::build(&g, 8, 1).unwrap();
+        assert!(matches!(
+            sketch.estimate(9, 0),
+            Err(SglError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            sketch.estimate(2, 2),
+            Err(SglError::OutOfRange(_))
+        ));
+        let spectral = SpectralSketch::build(&g, 0, 1).unwrap();
+        assert!(matches!(
+            spectral.estimate(0, 99),
+            Err(SglError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            pairwise_effective_resistances(&g, &[(0, 42)]),
+            Err(SglError::OutOfRange(_))
+        ));
     }
 
     #[test]
@@ -168,13 +578,100 @@ mod tests {
         let exact = pairwise_effective_resistances(&g, &pairs).unwrap();
         let sketch = ResistanceSketch::build(&g, 600, 4).unwrap();
         for (k, &(s, t)) in pairs.iter().enumerate() {
-            let est = sketch.estimate(s, t);
+            let est = sketch.estimate(s, t).unwrap();
             let rel = (est - exact[k]).abs() / exact[k];
             assert!(rel < 0.35, "pair ({s},{t}): rel error {rel}");
         }
         // Correlation across pairs should be extremely high.
-        let ests: Vec<f64> = pairs.iter().map(|&(s, t)| sketch.estimate(s, t)).collect();
+        let ests: Vec<f64> = pairs
+            .iter()
+            .map(|&(s, t)| sketch.estimate(s, t).unwrap())
+            .collect();
         assert!(vecops::pearson(&exact, &ests) > 0.97);
+    }
+
+    #[test]
+    fn spectral_sketch_is_exact_at_full_width() {
+        // Below the dense cutoff the auto width is the full spectrum, so
+        // the truncated sum *is* the resistance.
+        let g = grid2d(6, 6);
+        let pairs = sample_node_pairs(36, 20, 5);
+        let exact = pairwise_effective_resistances(&g, &pairs).unwrap();
+        let sketch = SpectralSketch::build(&g, 0, 6).unwrap();
+        assert_eq!(sketch.width(), 35);
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let est = sketch.estimate(s, t).unwrap();
+            assert!(
+                (est - exact[k]).abs() < 1e-6 * (1.0 + exact[k]),
+                "pair ({s},{t}): {est} vs {}",
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_sketch_truncation_lower_bounds() {
+        let g = grid2d(6, 6);
+        let pairs = sample_node_pairs(36, 15, 7);
+        let exact = pairwise_effective_resistances(&g, &pairs).unwrap();
+        let narrow = SpectralSketch::build(&g, 8, 8).unwrap();
+        assert_eq!(narrow.width(), 8);
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let est = narrow.estimate(s, t).unwrap();
+            assert!(
+                est <= exact[k] * (1.0 + 1e-9) + 1e-12,
+                "truncated estimate must lower-bound R_eff"
+            );
+        }
+    }
+
+    #[test]
+    fn estimators_agree_through_the_factory() {
+        let g = grid2d(6, 6);
+        let pairs = sample_node_pairs(36, 15, 9);
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        let exact = build_resistance_estimator(&g, ResistanceMethod::ExactSolve, &mut ctx, 1)
+            .unwrap()
+            .resistances(&pairs)
+            .unwrap();
+        let spectral = build_resistance_estimator(
+            &g,
+            ResistanceMethod::SpectralSketch { width: 0 },
+            &mut ctx,
+            1,
+        )
+        .unwrap()
+        .resistances(&pairs)
+        .unwrap();
+        for (a, b) in exact.iter().zip(&spectral) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a), "{a} vs {b}");
+        }
+        let jl = build_resistance_estimator(
+            &g,
+            ResistanceMethod::JlSketch { projections: 800 },
+            &mut ctx,
+            1,
+        )
+        .unwrap()
+        .resistances(&pairs)
+        .unwrap();
+        assert!(vecops::pearson(&exact, &jl) > 0.97);
+        // The exact and JL estimators share the context's handle.
+        assert_eq!(ctx.handles_built(), 1);
+    }
+
+    #[test]
+    fn batched_resistances_match_singles() {
+        let g = grid2d(5, 5);
+        let est = ExactSolve::build(&g, &SolverPolicy::default()).unwrap();
+        let pairs = sample_node_pairs(25, 10, 11);
+        let batch = est.resistances(&pairs).unwrap();
+        for (&(s, t), r) in pairs.iter().zip(&batch) {
+            let single = est.resistance(s, t).unwrap();
+            assert!((single - r).abs() < 1e-12);
+        }
+        // The batch path went through solve_batch.
+        assert_eq!(est.handle.stats().batches, 1);
     }
 
     #[test]

@@ -11,10 +11,11 @@ use crate::error::SglError;
 use crate::measure::Measurements;
 use sgl_graph::Graph;
 use sgl_linalg::vecops;
-use sgl_solver::{LaplacianSolver, SolverOptions};
+use sgl_solver::{SolverHandle, SolverPolicy};
 
 /// Apply spectral edge scaling to `graph` in place, returning the scale
-/// factor that was applied.
+/// factor that was applied. Builds a default-policy solver handle; use
+/// [`spectral_edge_scaling_with`] to share a session handle.
 ///
 /// # Errors
 /// Returns [`SglError::InvalidMeasurements`] when no current measurements
@@ -23,16 +24,46 @@ pub fn spectral_edge_scaling(
     graph: &mut Graph,
     measurements: &Measurements,
 ) -> Result<f64, SglError> {
-    let factor = edge_scale_factor(graph, measurements)?;
+    let handle = SolverPolicy::default().build_handle(graph)?;
+    spectral_edge_scaling_with(graph, measurements, handle.as_ref())
+}
+
+/// [`spectral_edge_scaling`] through an existing handle prepared for the
+/// *unscaled* `graph` (the handle is stale once this returns — the
+/// caller invalidates its context).
+///
+/// # Errors
+/// See [`spectral_edge_scaling`].
+pub fn spectral_edge_scaling_with(
+    graph: &mut Graph,
+    measurements: &Measurements,
+    handle: &dyn SolverHandle,
+) -> Result<f64, SglError> {
+    let factor = edge_scale_factor_with(graph, measurements, handle)?;
     graph.scale_weights(factor);
     Ok(factor)
 }
 
-/// Compute the eq. (23) scale factor without mutating the graph.
+/// Compute the eq. (23) scale factor without mutating the graph, with a
+/// default-policy handle.
 ///
 /// # Errors
 /// See [`spectral_edge_scaling`].
 pub fn edge_scale_factor(graph: &Graph, measurements: &Measurements) -> Result<f64, SglError> {
+    let handle = SolverPolicy::default().build_handle(graph)?;
+    edge_scale_factor_with(graph, measurements, handle.as_ref())
+}
+
+/// [`edge_scale_factor`] through an existing handle: the `M` current
+/// columns are solved in one batched call.
+///
+/// # Errors
+/// See [`spectral_edge_scaling`].
+pub fn edge_scale_factor_with(
+    graph: &Graph,
+    measurements: &Measurements,
+    handle: &dyn SolverHandle,
+) -> Result<f64, SglError> {
     let y = measurements.currents().ok_or_else(|| {
         SglError::InvalidMeasurements(
             "edge scaling needs current measurements (Y); construct with Measurements::new \
@@ -47,11 +78,18 @@ pub fn edge_scale_factor(graph: &Graph, measurements: &Measurements) -> Result<f
             measurements.num_nodes()
         )));
     }
-    let solver = LaplacianSolver::new(graph, SolverOptions::default())?;
+    if handle.num_nodes() != graph.num_nodes() {
+        return Err(SglError::InvalidGraph(format!(
+            "solver handle prepared for {} nodes, graph has {}",
+            handle.num_nodes(),
+            graph.num_nodes()
+        )));
+    }
     let m = measurements.num_measurements();
+    let rhs: Vec<Vec<f64>> = (0..m).map(|i| y.column(i)).collect();
+    let xtildes = handle.solve_batch(&rhs)?;
     let mut ratio_sum = 0.0;
-    for i in 0..m {
-        let yi = y.column(i);
+    for (i, xtilde) in xtildes.iter().enumerate() {
         let xi = measurements.voltage_vector(i);
         let xi_norm_sq = vecops::norm2_sq(&xi);
         if xi_norm_sq == 0.0 {
@@ -59,8 +97,7 @@ pub fn edge_scale_factor(graph: &Graph, measurements: &Measurements) -> Result<f
                 "voltage measurement {i} is identically zero"
             )));
         }
-        let xtilde = solver.solve(&yi)?;
-        ratio_sum += vecops::norm2_sq(&xtilde) / xi_norm_sq;
+        ratio_sum += vecops::norm2_sq(xtilde) / xi_norm_sq;
     }
     let factor = (ratio_sum / m as f64).sqrt();
     if !(factor.is_finite() && factor > 0.0) {
@@ -110,6 +147,24 @@ mod tests {
         let voltage_only = Measurements::from_voltages(meas.voltages().clone()).unwrap();
         let mut g = truth.clone();
         assert!(spectral_edge_scaling(&mut g, &voltage_only).is_err());
+    }
+
+    #[test]
+    fn shared_handle_path_matches_default() {
+        let truth = grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 4).unwrap();
+        let mut g = truth.clone();
+        g.scale_weights(0.5);
+        let a = edge_scale_factor(&g, &meas).unwrap();
+        let handle = SolverPolicy::default().build_handle(&g).unwrap();
+        let b = edge_scale_factor_with(&g, &meas, handle.as_ref()).unwrap();
+        assert!((a - b).abs() < 1e-9);
+        // The M current columns went through one batched solve.
+        assert_eq!(handle.stats().batches, 1);
+        assert_eq!(handle.stats().solves, 10);
+        // A handle for the wrong graph is rejected.
+        let wrong = SolverPolicy::default().build_handle(&grid2d(4, 4)).unwrap();
+        assert!(edge_scale_factor_with(&g, &meas, wrong.as_ref()).is_err());
     }
 
     #[test]

@@ -44,10 +44,12 @@ use crate::config::SglConfig;
 use crate::embedding::{Embedding, EmbeddingOptions};
 use crate::error::SglError;
 use crate::measure::Measurements;
+use crate::resistance::{build_resistance_estimator, ResistanceEstimator};
 use crate::sensitivity::CandidatePool;
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::Graph;
 use sgl_knn::build_knn_graph;
+use sgl_solver::SolverContext;
 use std::borrow::Cow;
 
 /// What a single [`SglSession::step`] did.
@@ -116,6 +118,10 @@ pub struct SglSession<'m> {
     knn_candidates: bool,
     converged: bool,
     halted: bool,
+    /// The session-owned solve layer: one policy-built handle per
+    /// learned-graph revision, shared by every stage and invalidated on
+    /// edge insertion.
+    solver: SolverContext,
     backend: Box<dyn EmbeddingBackend>,
     scorer: Box<dyn CandidateScorer>,
     stopping: Box<dyn StoppingRule>,
@@ -132,6 +138,7 @@ impl std::fmt::Debug for SglSession<'_> {
             .field("iterations", &self.trace.len())
             .field("converged", &self.converged)
             .field("halted", &self.halted)
+            .field("solver", &self.solver)
             .field("backend", &self.backend)
             .field("scorer", &self.scorer)
             .field("stopping", &self.stopping)
@@ -188,6 +195,7 @@ impl<'m> SglSession<'m> {
         let graph = tree.to_graph(&knn_graph);
         let pool = CandidatePool::from_off_tree(&knn_graph, &tree, measurements);
         let tol = config.tol;
+        let solver = SolverContext::new(config.solver.clone());
         Ok(SglSession {
             config,
             measurements: Cow::Borrowed(measurements),
@@ -201,6 +209,7 @@ impl<'m> SglSession<'m> {
             knn_candidates: false,
             converged: false,
             halted: false,
+            solver,
             backend: Box::new(LanczosBackend),
             scorer: Box::new(SpectralGradientScorer),
             stopping: Box::new(SensitivityThreshold { tol }),
@@ -276,6 +285,37 @@ impl<'m> SglSession<'m> {
         self.pool.len()
     }
 
+    /// The session-owned solver context: the policy in force, the cached
+    /// handle (if any), and how many handles have been built so far.
+    pub fn solver_context(&self) -> &SolverContext {
+        &self.solver
+    }
+
+    /// Materialize the configured [`ResistanceMethod`] for the *current*
+    /// learned graph. [`ExactSolve`] and [`JlSketch`] draw the shared
+    /// solver handle from the session's context;
+    /// [`SpectralSketch`] stays solver-free, so a session configured
+    /// with it never constructs a Laplacian solver here.
+    ///
+    /// The estimator snapshots the current revision — re-request it
+    /// after further [`step`](SglSession::step)s.
+    ///
+    /// [`ResistanceMethod`]: crate::resistance::ResistanceMethod
+    /// [`ExactSolve`]: crate::resistance::ExactSolve
+    /// [`JlSketch`]: crate::resistance::JlSketch
+    /// [`SpectralSketch`]: crate::resistance::SpectralSketch
+    ///
+    /// # Errors
+    /// Propagates solver/eigensolver construction failures.
+    pub fn resistance_estimator(&mut self) -> Result<Box<dyn ResistanceEstimator>, SglError> {
+        build_resistance_estimator(
+            &self.graph,
+            self.config.resistance,
+            &mut self.solver,
+            self.config.seed,
+        )
+    }
+
     /// Whether the densification loop has halted (converged, exhausted,
     /// or capped). [`finish`](SglSession::finish) is valid either way.
     pub fn is_done(&self) -> bool {
@@ -308,13 +348,12 @@ impl<'m> SglSession<'m> {
 
     fn ensure_embedding(&mut self) -> Result<&Embedding, SglError> {
         if self.embedding.is_none() {
-            let emb = self.backend.embed(
-                &self.graph,
-                self.embedding_width(),
-                self.config.shift(),
-                &self.embedding_options(),
-                None,
-            )?;
+            let width = self.embedding_width();
+            let shift = self.config.shift();
+            let opts = self.embedding_options();
+            let emb =
+                self.backend
+                    .embed(&self.graph, width, shift, &opts, None, &mut self.solver)?;
             self.embedding = Some(emb);
         }
         Ok(self.embedding.as_ref().expect("embedding just ensured"))
@@ -398,6 +437,8 @@ impl<'m> SglSession<'m> {
         for c in picked {
             self.graph.add_edge(c.u, c.v, c.weight);
         }
+        // A new graph revision: any cached solver handle is stale.
+        self.solver.invalidate();
         let record = self.push_record(smax, added);
         if added == 0 {
             // smax ≥ tol but nothing selectable: numerical corner, treat
@@ -410,12 +451,16 @@ impl<'m> SglSession<'m> {
         // Warm-start the next embedding from this iteration's block: only
         // ~⌈Nβ⌉ edges changed, so the old block is nearly invariant.
         let warm = self.embedding.take().expect("embedding ensured above");
+        let width = self.embedding_width();
+        let shift = self.config.shift();
+        let opts = self.embedding_options();
         self.embedding = Some(self.backend.embed(
             &self.graph,
-            self.embedding_width(),
-            self.config.shift(),
-            &self.embedding_options(),
+            width,
+            shift,
+            &opts,
             Some(&warm.coords),
+            &mut self.solver,
         )?);
         Ok(StepOutcome::Progressed(record))
     }
@@ -480,7 +525,8 @@ impl<'m> SglSession<'m> {
     pub fn finish(mut self) -> Result<LearnResult, SglError> {
         self.ensure_embedding()?;
         let scale_factor = if self.config.scale_edges {
-            self.scaler.scale(&mut self.graph, &self.measurements)?
+            self.scaler
+                .scale(&mut self.graph, &self.measurements, &mut self.solver)?
         } else {
             None
         };

@@ -3,7 +3,7 @@
 //! These generators reproduce the *class* of the paper's FE test matrices:
 //! jittered point clouds over a 2-D domain with geometric features (an
 //! airfoil-shaped hole, a crack slit, a perforated plate), triangulated
-//! with [`delaunay`](crate::delaunay::delaunay), feature-crossing
+//! with [`delaunay`](crate::delaunay::delaunay()), feature-crossing
 //! triangles removed, and the largest connected component kept. Average
 //! degree lands near 5.8 (density ≈ 2.9), matching `airfoil` (2.89),
 //! `crack` (2.97) and `fe_4elt2` (2.94).

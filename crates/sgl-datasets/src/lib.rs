@@ -8,7 +8,7 @@
 //! DESIGN.md §4 for the substitution argument):
 //!
 //! * [`grid2d`] / [`torus2d`] / [`grid3d`] — regular meshes ("2D mesh");
-//! * [`delaunay`] — a from-scratch Bowyer–Watson triangulator;
+//! * [`mod@delaunay`] — a from-scratch Bowyer–Watson triangulator;
 //! * [`domains`] — FE-style point clouds: airfoil profile, cracked plate,
 //!   perforated plate (`fe_4elt2`-like), triangulated into meshes;
 //! * [`circuit`] — power-grid-style networks ("G2_circuit"-like);

@@ -5,7 +5,7 @@
 //! supplies everything SGL's densification loop touches:
 //!
 //! * [`Graph`] and [`Edge`] — canonical edge-list storage with validation,
-//! * [`AdjacencyCsr`](csr::AdjacencyCsr) — neighbor iteration,
+//! * [`AdjacencyCsr`] — neighbor iteration,
 //! * [`laplacian`] — CSR and matrix-free Laplacian operators,
 //! * [`mst`] — Kruskal maximum spanning trees (Step 1 of Algorithm 1),
 //! * [`traversal`] — BFS, connectivity, components,

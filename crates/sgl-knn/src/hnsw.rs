@@ -1,6 +1,6 @@
 //! Hierarchical navigable small world (HNSW) approximate nearest-neighbor
 //! index, implemented from scratch after Malkov & Yashunin (the paper's
-//! reference [8]).
+//! reference \[8\]).
 //!
 //! Design notes:
 //! * levels are sampled geometrically with `mL = 1/ln(m)`;

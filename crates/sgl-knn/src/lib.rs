@@ -3,7 +3,7 @@
 //! SGL's Step 1 builds a connected kNN graph over the rows of the voltage
 //! measurement matrix `X ∈ R^{N×M}` (each node is its `M`-dimensional
 //! voltage profile) with edge weights `w_{s,t} = M / ‖X^T e_{s,t}‖²`.
-//! The paper cites HNSW [8] for scalable construction; this crate
+//! The paper cites HNSW \[8\] for scalable construction; this crate
 //! provides:
 //!
 //! * [`BruteForceKnn`] — exact search, multi-threaded, the ground truth;

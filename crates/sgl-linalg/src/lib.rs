@@ -13,7 +13,7 @@
 //! * [`CsrMatrix`] — compressed sparse row matrices and the
 //!   [`LinearOperator`] abstraction.
 //! * [`cg`] — conjugate gradients with pluggable [`Preconditioner`]s.
-//! * [`lobpcg`] / [`lanczos`] — sparse eigensolvers for the smallest
+//! * [`mod@lobpcg`] / [`mod@lanczos`] — sparse eigensolvers for the smallest
 //!   Laplacian eigenpairs (deflated block LOBPCG and shift-invert
 //!   Lanczos with full reorthogonalization).
 //!

@@ -1,0 +1,628 @@
+//! The pluggable solve layer: [`SolverPolicy`] → [`SolverBackend`] →
+//! [`SolverHandle`].
+//!
+//! SGL's pipeline solves `L x = b` in four different stages (measurement
+//! generation, edge scaling, shift-invert embedding, resistance
+//! sketching). Instead of each stage constructing its own
+//! [`LaplacianSolver`], a stage asks a *backend* to build a *handle* for
+//! the current graph and reuses it for every right-hand side — and a
+//! [`SolverPolicy`] is the plain-data description of which backend to
+//! build and how hard to run it, so the choice threads through
+//! configuration instead of being hard-coded at call sites.
+//!
+//! Both traits are object-safe: sessions store `Box<dyn SolverBackend>`
+//! and share `Arc<dyn SolverHandle>` across stages.
+
+use crate::laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions};
+use sgl_graph::laplacian::laplacian_csr;
+use sgl_graph::traversal::is_connected;
+use sgl_graph::Graph;
+use sgl_linalg::{vecops, CholeskyFactor, LinalgError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Cumulative statistics of a [`SolverHandle`] over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Right-hand sides solved (batch members count individually).
+    pub solves: usize,
+    /// [`SolverHandle::solve_batch`] calls.
+    pub batches: usize,
+    /// Cumulative inner (PCG) iterations; 0 for direct backends.
+    pub iterations: usize,
+    /// Relative residual of the most recent solve; 0 for direct backends.
+    pub last_relative_residual: f64,
+}
+
+/// Interior-mutable stat counters (solves take `&self`).
+#[derive(Debug, Default)]
+struct StatCell {
+    solves: AtomicUsize,
+    batches: AtomicUsize,
+    iterations: AtomicUsize,
+    last_residual_bits: AtomicU64,
+}
+
+impl StatCell {
+    fn record(&self, rhs: usize, iterations: usize, residual: f64) {
+        self.solves.fetch_add(rhs, Ordering::Relaxed);
+        self.iterations.fetch_add(iterations, Ordering::Relaxed);
+        self.last_residual_bits
+            .store(residual.to_bits(), Ordering::Relaxed);
+    }
+
+    fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SolveStats {
+        SolveStats {
+            solves: self.solves.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            last_relative_residual: f64::from_bits(self.last_residual_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A prepared, reusable solver for `L x = b` on one fixed graph.
+///
+/// Solutions are mean-zero (the canonical representative in the
+/// Laplacian's quotient space). Handles are `Send + Sync` and cheap to
+/// share via `Arc`: a session builds one per learned-graph revision and
+/// every stage solves through it.
+pub trait SolverHandle: Send + Sync {
+    /// Number of nodes of the prepared graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Name of the concrete method in use (after any `Auto` resolution).
+    fn method_name(&self) -> &'static str;
+
+    /// Solve `L x = b`, returning the mean-zero solution.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotConverged`] when an iterative backend
+    /// hits its cap and a dimension error for a wrong-sized `b`.
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError>;
+
+    /// Solve `L X = B` for many right-hand sides in one call. Every
+    /// RHS reuses the handle's prepared setup (factorization or
+    /// preconditioner) — that amortization comes from the handle, not
+    /// the batch — and routing multi-RHS work through this single entry
+    /// point is what lets future backends add genuinely blocked solves
+    /// without touching call sites. Current implementations solve the
+    /// batch one RHS at a time.
+    ///
+    /// # Errors
+    /// See [`SolverHandle::solve`].
+    fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError>;
+
+    /// Cumulative solve statistics for this handle.
+    fn stats(&self) -> SolveStats;
+}
+
+/// Builds [`SolverHandle`]s for graphs. Object-safe so a policy can
+/// select among backends at runtime.
+pub trait SolverBackend: std::fmt::Debug + Send + Sync {
+    /// Short backend name (for logs and traces).
+    fn name(&self) -> &'static str;
+
+    /// Prepare a handle for the given connected graph.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] for graphs the backend
+    /// cannot prepare (empty, disconnected, too large for a dense
+    /// reference backend, non-tree for `TreeDirect`).
+    fn build(&self, graph: &Graph) -> Result<Arc<dyn SolverHandle>, LinalgError>;
+}
+
+// ---------------------------------------------------------------------------
+// Iterative backend: the existing PCG/AMG/tree facade.
+// ---------------------------------------------------------------------------
+
+/// [`SolverBackend`] over the [`LaplacianSolver`] facade (exact tree
+/// solves, tree-/AMG-/Jacobi-/IC(0)-preconditioned PCG).
+#[derive(Debug, Clone, Default)]
+pub struct IterativeBackend {
+    /// Facade options (method selection, tolerance, iteration cap).
+    pub opts: SolverOptions,
+}
+
+impl IterativeBackend {
+    /// Backend with explicit facade options.
+    pub fn new(opts: SolverOptions) -> Self {
+        IterativeBackend { opts }
+    }
+}
+
+impl SolverBackend for IterativeBackend {
+    fn name(&self) -> &'static str {
+        "iterative"
+    }
+
+    fn build(&self, graph: &Graph) -> Result<Arc<dyn SolverHandle>, LinalgError> {
+        let solver = LaplacianSolver::new(graph, self.opts.clone())?;
+        Ok(Arc::new(IterativeHandle {
+            solver,
+            stats: StatCell::default(),
+        }))
+    }
+}
+
+struct IterativeHandle {
+    solver: LaplacianSolver,
+    stats: StatCell,
+}
+
+impl SolverHandle for IterativeHandle {
+    fn num_nodes(&self) -> usize {
+        self.solver.num_nodes()
+    }
+
+    fn method_name(&self) -> &'static str {
+        match self.solver.method() {
+            SolverMethod::Auto => "auto",
+            SolverMethod::TreeDirect => "tree-direct",
+            SolverMethod::TreePcg => "tree-pcg",
+            SolverMethod::AmgPcg => "amg-pcg",
+            SolverMethod::JacobiPcg => "jacobi-pcg",
+            SolverMethod::IcholPcg => "ichol-pcg",
+        }
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (x, st) = self.solver.solve_with_stats(b)?;
+        self.stats.record(1, st.iterations, st.relative_residual);
+        Ok(x)
+    }
+
+    fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        self.stats.record_batch();
+        let mut out = Vec::with_capacity(rhs.len());
+        for b in rhs {
+            let (x, st) = self.solver.solve_with_stats(b)?;
+            self.stats.record(1, st.iterations, st.relative_residual);
+            out.push(x);
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense Cholesky backend: small-N exact reference.
+// ---------------------------------------------------------------------------
+
+/// Dense Cholesky reference backend: factors `L + (1/N)·11ᵀ` (SPD on a
+/// connected graph) once, then every solve is two exact triangular
+/// sweeps — `O(N²)` per RHS with the `O(N³)` factorization paid once
+/// per handle, which favors many-RHS workloads on small graphs.
+/// `O(N²)` memory, so guarded by `max_nodes`; this is the ground truth
+/// the iterative backends are tested against.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseCholeskyBackend {
+    /// Refuse graphs larger than this (0 disables the guard).
+    pub max_nodes: usize,
+}
+
+impl Default for DenseCholeskyBackend {
+    fn default() -> Self {
+        DenseCholeskyBackend { max_nodes: 4096 }
+    }
+}
+
+impl DenseCholeskyBackend {
+    /// Backend with an explicit node-count guard (0 = unlimited).
+    pub fn with_limit(max_nodes: usize) -> Self {
+        DenseCholeskyBackend { max_nodes }
+    }
+}
+
+impl SolverBackend for DenseCholeskyBackend {
+    fn name(&self) -> &'static str {
+        "dense-cholesky"
+    }
+
+    fn build(&self, graph: &Graph) -> Result<Arc<dyn SolverHandle>, LinalgError> {
+        let n = graph.num_nodes();
+        if n == 0 {
+            return Err(LinalgError::InvalidInput("empty graph".into()));
+        }
+        if self.max_nodes != 0 && n > self.max_nodes {
+            return Err(LinalgError::InvalidInput(format!(
+                "DenseCholeskyBackend limited to {} nodes, got {n}; raise the \
+                 limit or use an iterative backend",
+                self.max_nodes
+            )));
+        }
+        if !is_connected(graph) {
+            return Err(LinalgError::InvalidInput(
+                "laplacian solver requires a connected graph".into(),
+            ));
+        }
+        // L + (1/n)·11ᵀ is SPD and agrees with L on the mean-zero
+        // subspace, so solving against it with a mean-zero b yields the
+        // mean-zero Laplacian solution directly.
+        let mut dense = laplacian_csr(graph).to_dense();
+        let shift = 1.0 / n as f64;
+        for i in 0..n {
+            for j in 0..n {
+                let v = dense.get(i, j) + shift;
+                dense.set(i, j, v);
+            }
+        }
+        let chol = CholeskyFactor::compute(&dense)?;
+        Ok(Arc::new(DenseCholeskyHandle {
+            chol,
+            num_nodes: n,
+            stats: StatCell::default(),
+        }))
+    }
+}
+
+struct DenseCholeskyHandle {
+    chol: CholeskyFactor,
+    num_nodes: usize,
+    stats: StatCell,
+}
+
+impl DenseCholeskyHandle {
+    fn solve_one(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.num_nodes {
+            return Err(LinalgError::DimensionMismatch {
+                context: "laplacian solve rhs",
+                expected: self.num_nodes,
+                actual: b.len(),
+            });
+        }
+        let mut rhs = b.to_vec();
+        vecops::project_out_mean(&mut rhs);
+        let mut x = self.chol.solve(&rhs);
+        vecops::project_out_mean(&mut x);
+        Ok(x)
+    }
+}
+
+impl SolverHandle for DenseCholeskyHandle {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn method_name(&self) -> &'static str {
+        "dense-cholesky"
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let x = self.solve_one(b)?;
+        self.stats.record(1, 0, 0.0);
+        Ok(x)
+    }
+
+    fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        self.stats.record_batch();
+        let mut out = Vec::with_capacity(rhs.len());
+        for b in rhs {
+            out.push(self.solve_one(b)?);
+        }
+        self.stats.record(rhs.len(), 0, 0.0);
+        Ok(out)
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolverPolicy: the plain-data, config-threadable description.
+// ---------------------------------------------------------------------------
+
+/// Method selection of a [`SolverPolicy`] — the iterative facade's
+/// methods plus the dense Cholesky reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyMethod {
+    /// Let the facade pick: tree solve for trees, tree-PCG for
+    /// near-trees, AMG-PCG otherwise.
+    #[default]
+    Auto,
+    /// Exact `O(N)` elimination (graph must be a tree).
+    TreeDirect,
+    /// PCG preconditioned by a maximum-spanning-tree solve.
+    TreePcg,
+    /// PCG preconditioned by an aggregation-AMG V-cycle.
+    AmgPcg,
+    /// PCG preconditioned by the Laplacian diagonal.
+    JacobiPcg,
+    /// PCG preconditioned by a shifted IC(0) factorization.
+    IcholPcg,
+    /// Dense Cholesky of `L + (1/N)·11ᵀ` — exact, small-N reference.
+    DenseCholesky,
+}
+
+impl PolicyMethod {
+    /// The facade method this policy method maps to (`None` for the
+    /// dense reference, which bypasses the facade).
+    pub fn solver_method(self) -> Option<SolverMethod> {
+        match self {
+            PolicyMethod::Auto => Some(SolverMethod::Auto),
+            PolicyMethod::TreeDirect => Some(SolverMethod::TreeDirect),
+            PolicyMethod::TreePcg => Some(SolverMethod::TreePcg),
+            PolicyMethod::AmgPcg => Some(SolverMethod::AmgPcg),
+            PolicyMethod::JacobiPcg => Some(SolverMethod::JacobiPcg),
+            PolicyMethod::IcholPcg => Some(SolverMethod::IcholPcg),
+            PolicyMethod::DenseCholesky => None,
+        }
+    }
+}
+
+/// When a cached handle may be reused across solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReuseMode {
+    /// One handle per graph revision, shared by every stage until the
+    /// graph changes (the production mode).
+    #[default]
+    PerRevision,
+    /// Rebuild on every request (debugging / A-B measurement of setup
+    /// cost; the pre-redesign behavior).
+    PerCall,
+}
+
+/// The user-controllable description of how the pipeline solves
+/// Laplacian systems: which method, to what tolerance, under which
+/// iteration cap, and whether handles are reused across a graph
+/// revision. Plain data — thread it through `SglConfig` and hand it to a
+/// [`SolverContext`](crate::SolverContext).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverPolicy {
+    /// Backend/method selection.
+    pub method: PolicyMethod,
+    /// Relative residual tolerance for iterative methods.
+    pub rtol: f64,
+    /// Iteration cap for iterative methods.
+    pub max_iter: usize,
+    /// Handle reuse across graph revisions.
+    pub reuse: ReuseMode,
+    /// Node-count guard for [`PolicyMethod::DenseCholesky`] (0 = off).
+    pub dense_max_nodes: usize,
+}
+
+impl Default for SolverPolicy {
+    fn default() -> Self {
+        SolverPolicy {
+            method: PolicyMethod::Auto,
+            rtol: 1e-10,
+            max_iter: 10_000,
+            reuse: ReuseMode::PerRevision,
+            dense_max_nodes: 4096,
+        }
+    }
+}
+
+impl SolverPolicy {
+    /// Validate the policy.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] for a non-finite or
+    /// non-positive tolerance or a zero iteration cap.
+    pub fn validate(&self) -> Result<(), LinalgError> {
+        if !self.rtol.is_finite() || self.rtol <= 0.0 {
+            return Err(LinalgError::InvalidInput(format!(
+                "solver rtol must be finite and positive, got {}",
+                self.rtol
+            )));
+        }
+        if self.max_iter == 0 {
+            return Err(LinalgError::InvalidInput(
+                "solver max_iter must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Instantiate the backend this policy describes.
+    pub fn backend(&self) -> Box<dyn SolverBackend> {
+        match self.method.solver_method() {
+            Some(method) => Box::new(IterativeBackend::new(SolverOptions {
+                method,
+                rtol: self.rtol,
+                max_iter: self.max_iter,
+                ..SolverOptions::default()
+            })),
+            None => Box::new(DenseCholeskyBackend::with_limit(self.dense_max_nodes)),
+        }
+    }
+
+    /// Validate, then build a handle for `graph` in one step (the
+    /// convenience path for standalone utilities; sessions go through a
+    /// [`SolverContext`](crate::SolverContext) instead).
+    ///
+    /// # Errors
+    /// See [`SolverPolicy::validate`] and [`SolverBackend::build`].
+    pub fn build_handle(&self, graph: &Graph) -> Result<Arc<dyn SolverHandle>, LinalgError> {
+        self.validate()?;
+        self.backend().build(graph)
+    }
+
+    /// Builder-style setter for the method.
+    #[must_use]
+    pub fn with_method(mut self, method: PolicyMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder-style setter for the tolerance.
+    #[must_use]
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Builder-style setter for the iteration cap.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Builder-style setter for the reuse mode.
+    #[must_use]
+    pub fn with_reuse(mut self, reuse: ReuseMode) -> Self {
+        self.reuse = reuse;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_datasets::grid2d;
+    use sgl_linalg::Rng;
+
+    fn mean_zero_rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut b = rng.normal_vec(n);
+        vecops::project_out_mean(&mut b);
+        b
+    }
+
+    #[test]
+    fn dense_cholesky_matches_iterative() {
+        let g = grid2d(7, 7);
+        let b = mean_zero_rhs(49, 1);
+        let dense = DenseCholeskyBackend::default().build(&g).unwrap();
+        let pcg = IterativeBackend::default().build(&g).unwrap();
+        let xd = dense.solve(&b).unwrap();
+        let xi = pcg.solve(&b).unwrap();
+        let d = vecops::sub(&xd, &xi);
+        assert!(vecops::norm2(&d) < 1e-7, "backends disagree");
+        assert!(vecops::mean(&xd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_cholesky_solves_exactly() {
+        let g = grid2d(6, 5);
+        let b = mean_zero_rhs(30, 2);
+        let h = DenseCholeskyBackend::default().build(&g).unwrap();
+        let x = h.solve(&b).unwrap();
+        let l = laplacian_csr(&g);
+        let r = vecops::sub(&b, &l.matvec(&x));
+        assert!(vecops::norm2(&r) / vecops::norm2(&b) < 1e-10);
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential() {
+        let g = grid2d(6, 6);
+        let rhs: Vec<Vec<f64>> = (0..4).map(|i| mean_zero_rhs(36, 10 + i)).collect();
+        for backend in [
+            Box::new(IterativeBackend::default()) as Box<dyn SolverBackend>,
+            Box::new(DenseCholeskyBackend::default()),
+        ] {
+            let h = backend.build(&g).unwrap();
+            let batch = h.solve_batch(&rhs).unwrap();
+            for (b, x) in rhs.iter().zip(&batch) {
+                let single = h.solve(b).unwrap();
+                let d = vecops::sub(x, &single);
+                assert!(
+                    vecops::norm2(&d) < 1e-12,
+                    "{} batch mismatch",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_solves_and_batches() {
+        let g = grid2d(5, 5);
+        let h = IterativeBackend::default().build(&g).unwrap();
+        assert_eq!(h.stats(), SolveStats::default());
+        let rhs: Vec<Vec<f64>> = (0..3).map(|i| mean_zero_rhs(25, i)).collect();
+        h.solve(&rhs[0]).unwrap();
+        h.solve_batch(&rhs).unwrap();
+        let st = h.stats();
+        assert_eq!(st.solves, 4);
+        assert_eq!(st.batches, 1);
+        assert!(st.iterations > 0, "PCG should report iterations");
+        assert!(st.last_relative_residual < 1e-9);
+    }
+
+    #[test]
+    fn dense_guard_and_bad_graphs_rejected() {
+        let g = grid2d(5, 5);
+        assert!(DenseCholeskyBackend::with_limit(10).build(&g).is_err());
+        assert!(DenseCholeskyBackend::with_limit(0).build(&g).is_ok());
+        let disconnected = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(DenseCholeskyBackend::default()
+            .build(&disconnected)
+            .is_err());
+        assert!(IterativeBackend::default().build(&disconnected).is_err());
+    }
+
+    #[test]
+    fn policy_builds_every_method() {
+        let g = grid2d(5, 5);
+        let b = mean_zero_rhs(25, 3);
+        let reference = SolverPolicy::default()
+            .with_method(PolicyMethod::DenseCholesky)
+            .build_handle(&g)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for method in [
+            PolicyMethod::Auto,
+            PolicyMethod::TreePcg,
+            PolicyMethod::AmgPcg,
+            PolicyMethod::JacobiPcg,
+            PolicyMethod::IcholPcg,
+        ] {
+            let h = SolverPolicy::default()
+                .with_method(method)
+                .build_handle(&g)
+                .unwrap();
+            let x = h.solve(&b).unwrap();
+            let d = vecops::sub(&x, &reference);
+            assert!(
+                vecops::norm2(&d) < 1e-6,
+                "{method:?} disagrees with dense reference"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_validation_rejects_bad_values() {
+        assert!(SolverPolicy::default().with_rtol(0.0).validate().is_err());
+        assert!(SolverPolicy::default()
+            .with_rtol(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(SolverPolicy::default().with_max_iter(0).validate().is_err());
+        assert!(SolverPolicy::default()
+            .with_rtol(0.0)
+            .build_handle(&grid2d(3, 3))
+            .is_err());
+    }
+
+    #[test]
+    fn policy_threads_tolerance_into_facade() {
+        // A loose tolerance must reach the PCG loop: far fewer iterations.
+        let g = grid2d(12, 12);
+        let b = mean_zero_rhs(144, 4);
+        let tight = SolverPolicy::default()
+            .with_method(PolicyMethod::JacobiPcg)
+            .build_handle(&g)
+            .unwrap();
+        tight.solve(&b).unwrap();
+        let loose = SolverPolicy::default()
+            .with_method(PolicyMethod::JacobiPcg)
+            .with_rtol(1e-2)
+            .build_handle(&g)
+            .unwrap();
+        loose.solve(&b).unwrap();
+        assert!(loose.stats().iterations < tight.stats().iterations);
+    }
+
+    use sgl_graph::Graph;
+}

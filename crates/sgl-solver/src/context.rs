@@ -1,0 +1,207 @@
+//! [`SolverContext`] — a session-owned cache of the current graph
+//! revision's [`SolverHandle`].
+//!
+//! The SGL loop mutates its learned graph between iterations but solves
+//! against a *fixed* graph many times within one iteration (edge
+//! scaling, shift-invert embedding, resistance sketching). The context
+//! captures exactly that lifecycle: stages call
+//! [`handle_for`](SolverContext::handle_for) and share one prepared
+//! handle; the owner calls [`invalidate`](SolverContext::invalidate)
+//! whenever the graph changes (edge insertion, weight rescaling), and
+//! the next request rebuilds. As a safety net for callers that mutate
+//! without invalidating, every request also checks a cheap fingerprint
+//! of the graph's edge list — a stale handle is never silently served.
+
+use crate::backend::{ReuseMode, SolverBackend, SolverHandle, SolverPolicy};
+use sgl_graph::Graph;
+use sgl_linalg::LinalgError;
+use std::sync::Arc;
+
+/// Revision-tracked solver cache driven by a [`SolverPolicy`].
+pub struct SolverContext {
+    policy: SolverPolicy,
+    backend: Box<dyn SolverBackend>,
+    handle: Option<Arc<dyn SolverHandle>>,
+    /// Fingerprint of the graph the cached handle was built for.
+    fingerprint: u64,
+    stale: bool,
+    builds: usize,
+}
+
+/// Cheap structural fingerprint (FNV-1a over the edge list): detects
+/// graph changes that slip past an explicit
+/// [`invalidate`](SolverContext::invalidate), including same-size
+/// topology or weight edits.
+fn graph_fingerprint(graph: &Graph) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(graph.num_nodes() as u64);
+    mix(graph.num_edges() as u64);
+    for e in graph.edges() {
+        mix(e.u as u64);
+        mix(e.v as u64);
+        mix(e.weight.to_bits());
+    }
+    h
+}
+
+impl std::fmt::Debug for SolverContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverContext")
+            .field("policy", &self.policy)
+            .field("backend", &self.backend.name())
+            .field("cached", &self.handle.is_some())
+            .field("stale", &self.stale)
+            .field("builds", &self.builds)
+            .finish()
+    }
+}
+
+impl SolverContext {
+    /// Create a context for the given policy.
+    pub fn new(policy: SolverPolicy) -> Self {
+        let backend = policy.backend();
+        SolverContext {
+            policy,
+            backend,
+            handle: None,
+            fingerprint: 0,
+            stale: false,
+            builds: 0,
+        }
+    }
+
+    /// The policy driving this context.
+    pub fn policy(&self) -> &SolverPolicy {
+        &self.policy
+    }
+
+    /// Mark the cached handle stale (the graph changed); the next
+    /// [`handle_for`](SolverContext::handle_for) rebuilds.
+    pub fn invalidate(&mut self) {
+        self.stale = true;
+    }
+
+    /// The handle for the current graph revision, building it on first
+    /// use, after [`invalidate`](SolverContext::invalidate), and
+    /// whenever the graph's edge-list fingerprint differs from the one
+    /// the cached handle was built for (so a mutated graph can never be
+    /// silently served a stale handle, even without an explicit
+    /// invalidation). Under [`ReuseMode::PerCall`] every request
+    /// rebuilds.
+    ///
+    /// # Errors
+    /// Propagates [`SolverBackend::build`] failures; the stale cache is
+    /// dropped either way.
+    pub fn handle_for(&mut self, graph: &Graph) -> Result<Arc<dyn SolverHandle>, LinalgError> {
+        let fingerprint = graph_fingerprint(graph);
+        let rebuild = self.handle.is_none()
+            || self.stale
+            || fingerprint != self.fingerprint
+            || self.policy.reuse == ReuseMode::PerCall;
+        if rebuild {
+            self.handle = None; // drop the stale handle even if build fails
+            let handle = self.backend.build(graph)?;
+            self.builds += 1;
+            self.stale = false;
+            self.fingerprint = fingerprint;
+            self.handle = Some(handle);
+        }
+        Ok(Arc::clone(self.handle.as_ref().expect("handle just built")))
+    }
+
+    /// The cached handle, if any (no build is triggered).
+    pub fn current_handle(&self) -> Option<&Arc<dyn SolverHandle>> {
+        self.handle.as_ref()
+    }
+
+    /// How many handles this context has built — the observable cost of
+    /// the reuse policy (and the witness that a solver-free pipeline
+    /// never built one).
+    pub fn handles_built(&self) -> usize {
+        self.builds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::PolicyMethod;
+    use sgl_datasets::grid2d;
+
+    #[test]
+    fn per_revision_reuses_until_invalidated() {
+        let g = grid2d(5, 5);
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        assert_eq!(ctx.handles_built(), 0);
+        let a = ctx.handle_for(&g).unwrap();
+        let b = ctx.handle_for(&g).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same revision must share the handle");
+        assert_eq!(ctx.handles_built(), 1);
+        ctx.invalidate();
+        let c = ctx.handle_for(&g).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "invalidate must rebuild");
+        assert_eq!(ctx.handles_built(), 2);
+    }
+
+    #[test]
+    fn per_call_always_rebuilds() {
+        let g = grid2d(4, 4);
+        let policy = SolverPolicy::default().with_reuse(ReuseMode::PerCall);
+        let mut ctx = SolverContext::new(policy);
+        let a = ctx.handle_for(&g).unwrap();
+        let b = ctx.handle_for(&g).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.handles_built(), 2);
+    }
+
+    #[test]
+    fn node_count_change_rebuilds() {
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        ctx.handle_for(&grid2d(4, 4)).unwrap();
+        let h = ctx.handle_for(&grid2d(5, 5)).unwrap();
+        assert_eq!(h.num_nodes(), 25);
+        assert_eq!(ctx.handles_built(), 2);
+    }
+
+    #[test]
+    fn silent_graph_mutation_is_caught_by_the_fingerprint() {
+        // Same node count, mutated weights, no invalidate() — the
+        // context must not serve the handle factored for the old graph.
+        let mut g = grid2d(4, 4);
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        let a = ctx.handle_for(&g).unwrap();
+        g.scale_weights(3.0);
+        let b = ctx.handle_for(&g).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "stale handle served for mutated graph"
+        );
+        assert_eq!(ctx.handles_built(), 2);
+        // R(0,1)-style sanity: the new handle solves the scaled system.
+        let mut rhs = vec![0.0; 16];
+        rhs[0] = 1.0;
+        rhs[15] = -1.0;
+        let xa = a.solve(&rhs).unwrap();
+        let xb = b.solve(&rhs).unwrap();
+        assert!(((xa[0] - xa[15]) / (xb[0] - xb[15]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failed_build_drops_stale_cache() {
+        let g = grid2d(4, 4);
+        let policy = SolverPolicy::default().with_method(PolicyMethod::DenseCholesky);
+        let mut ctx = SolverContext::new(SolverPolicy {
+            dense_max_nodes: 16,
+            ..policy
+        });
+        ctx.handle_for(&g).unwrap();
+        ctx.invalidate();
+        assert!(ctx.handle_for(&grid2d(6, 6)).is_err());
+        assert!(ctx.current_handle().is_none());
+    }
+}

@@ -1,43 +1,81 @@
-//! Fast graph-Laplacian solvers for the SGL reproduction.
+//! Fast graph-Laplacian solvers for the SGL reproduction — and the
+//! pluggable solve layer the pipeline consumes them through.
 //!
-//! SGL needs Laplacian solves in three places: generating the voltage
-//! measurements (`L* x = y` on the ground-truth graph), the spectral edge
-//! scaling step (`L x̃ = y` on the learned graph), and shift-invert
-//! eigenvalue computations. The paper leans on nearly-linear-time SDD
-//! solvers (Koutis–Miller–Peng [7], SAMG [14]); this crate provides the
-//! equivalents we built from scratch:
+//! SGL's scalability rests on nearly-linear-time solves of `L x = b`
+//! (Koutis–Miller–Peng \[7\], SAMG \[14\]). The pipeline needs them in four
+//! places: generating voltage measurements (`L* x = y` on the
+//! ground-truth graph), spectral edge scaling (`L x̃ = y` on the learned
+//! graph), shift-invert eigenvalue computation, and the JL effective-
+//! resistance sketch. This crate provides both the numerical kernels and
+//! the API the pipeline talks to:
+//!
+//! # The solve layer (what callers use)
+//!
+//! * [`SolverPolicy`] — plain-data description of *how* to solve:
+//!   method, tolerance, iteration cap, handle-reuse mode. Threads
+//!   through configuration (e.g. `SglConfig`) so every solve is
+//!   user-controllable end to end.
+//! * [`SolverBackend`] — object-safe factory: build-for-graph. Two
+//!   implementations: [`IterativeBackend`] (the PCG/AMG/tree facade)
+//!   and [`DenseCholeskyBackend`] (exact small-N reference that factors
+//!   `L + (1/N)·11ᵀ` once).
+//! * [`SolverHandle`] — a prepared solver for one fixed graph:
+//!   [`solve`](SolverHandle::solve), multi-RHS
+//!   [`solve_batch`](SolverHandle::solve_batch), and cumulative
+//!   [`stats`](SolverHandle::stats). Shared across stages via `Arc`.
+//! * [`SolverContext`] — a session-owned, revision-tracked cache: one
+//!   handle per learned-graph revision, invalidated on edge insertion.
+//!
+//! # The kernels (what the backends are built from)
 //!
 //! * [`tree_solver`] — exact `O(N)` elimination on spanning trees;
 //! * [`preconditioner`] / [`ichol`] — Jacobi, symmetric Gauss–Seidel,
-//!   IC(0) and spanning-tree preconditioners (support-graph preconditioning: the
-//!   learned graph *is* a tree plus a few off-tree edges, so a tree solve
-//!   is a near-ideal preconditioner for it);
+//!   IC(0) and spanning-tree preconditioners (support-graph
+//!   preconditioning: the learned graph *is* a tree plus a few off-tree
+//!   edges, so a tree solve is a near-ideal preconditioner for it);
 //! * [`amg`] — unsmoothed-aggregation algebraic multigrid whose Galerkin
 //!   coarse operators are literal graph contractions;
-//! * [`LaplacianSolver`] — the user-facing facade that picks a method and
-//!   runs projected PCG to a requested tolerance.
+//! * [`LaplacianSolver`] — the method-picking facade running projected
+//!   PCG to a requested tolerance ([`IterativeBackend`] wraps it).
 //!
 //! # Example
 //!
 //! ```
 //! use sgl_graph::Graph;
-//! use sgl_solver::{LaplacianSolver, SolverOptions};
+//! use sgl_solver::{PolicyMethod, SolverPolicy};
 //!
 //! let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]);
-//! let solver = LaplacianSolver::new(&g, SolverOptions::default()).unwrap();
+//! // Policy-driven: validate, pick a backend, build a reusable handle.
+//! let handle = SolverPolicy::default()
+//!     .with_method(PolicyMethod::Auto)
+//!     .build_handle(&g)
+//!     .unwrap();
 //! // Push 1 A into node 0, draw 1 A from node 2.
-//! let x = solver.solve(&[1.0, 0.0, -1.0]).unwrap();
+//! let x = handle.solve(&[1.0, 0.0, -1.0]).unwrap();
 //! // Voltage drop across the two unit resistors is 1 V each.
 //! assert!(((x[0] - x[2]) - 2.0).abs() < 1e-8);
+//! // Batched right-hand sides go through one call.
+//! let xs = handle
+//!     .solve_batch(&[vec![1.0, 0.0, -1.0], vec![0.0, 1.0, -1.0]])
+//!     .unwrap();
+//! assert_eq!(xs.len(), 2);
+//! assert_eq!(handle.stats().solves, 3);
 //! ```
 
 pub mod amg;
+pub mod backend;
+pub mod context;
 pub mod ichol;
 pub mod laplacian_solver;
 pub mod preconditioner;
 pub mod tree_solver;
 
 pub use amg::{AmgHierarchy, AmgOptions};
+pub use backend::{
+    DenseCholeskyBackend, IterativeBackend, PolicyMethod, ReuseMode, SolveStats, SolverBackend,
+    SolverHandle, SolverPolicy,
+};
+pub use context::SolverContext;
 pub use ichol::IncompleteCholesky;
 pub use laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions, SolverStats};
 pub use preconditioner::{GaussSeidelPreconditioner, TreePreconditioner};

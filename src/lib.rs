@@ -33,8 +33,9 @@
 //! # The staged pipeline
 //!
 //! For per-iteration observation, swappable stage backends, or
-//! measurements that arrive in batches, drive an [`SglSession`]
-//! (`Sgl::learn` is a thin facade over it):
+//! measurements that arrive in batches, drive an
+//! [`SglSession`](sgl_core::SglSession) (`Sgl::learn` is a thin facade
+//! over it):
 //!
 //! ```
 //! use sgl::prelude::*;
@@ -52,7 +53,11 @@
 //! ```
 //!
 //! See `examples/incremental_learning.rs` for batch-by-batch measurement
-//! arrival via [`SglSession::extend_measurements`].
+//! arrival via
+//! [`SglSession::extend_measurements`](sgl_core::SglSession::extend_measurements),
+//! and `examples/solver_policy.rs` for the config-driven solve layer
+//! ([`SolverPolicy`](sgl_solver::SolverPolicy): method selection, shared
+//! per-revision handles, and the solver-free resistance mode).
 
 pub use sgl_baseline;
 pub use sgl_core;
@@ -65,8 +70,9 @@ pub use sgl_solver;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sgl_core::{
-        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, Measurements,
-        SessionObserver, Sgl, SglConfig, SglSession, StepOutcome,
+        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, Measurements, PolicyMethod,
+        ResistanceEstimator, ResistanceMethod, SessionObserver, Sgl, SglConfig, SglSession,
+        SolverPolicy, StepOutcome,
     };
     pub use sgl_graph::Graph;
 }

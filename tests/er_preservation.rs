@@ -62,7 +62,10 @@ fn resistance_sketch_matches_exact_batch() {
     let pairs = sample_node_pairs(truth.num_nodes(), 25, 6);
     let exact = pairwise_effective_resistances(&truth, &pairs).unwrap();
     let sketch = ResistanceSketch::build(&truth, 800, 7).unwrap();
-    let est: Vec<f64> = pairs.iter().map(|&(s, t)| sketch.estimate(s, t)).collect();
+    let est: Vec<f64> = pairs
+        .iter()
+        .map(|&(s, t)| sketch.estimate(s, t).unwrap())
+        .collect();
     assert!(
         vecops::pearson(&exact, &est) > 0.98,
         "sketch correlation too low"

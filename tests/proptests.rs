@@ -170,6 +170,80 @@ proptest! {
     }
 
     #[test]
+    fn resistance_estimators_agree_with_exact(
+        n in 8usize..20,
+        extra in 2usize..6,
+        seed in 0u64..300,
+    ) {
+        // JlSketch at the eq.-18 projection count stays within the
+        // (1 ± ε) JL tolerance of ExactSolve, and the solver-free
+        // SpectralSketch at full width matches to solver precision.
+        let g = random_connected_graph(n, extra, seed);
+        let pairs = sgl_core::sample_node_pairs(n, 6, seed);
+        let exact = sgl_core::pairwise_effective_resistances(&g, &pairs).unwrap();
+        let spectral = sgl_core::SpectralSketch::build(&g, 0, seed).unwrap();
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let est = spectral.estimate(s, t).unwrap();
+            prop_assert!(
+                (est - exact[k]).abs() <= 1e-5 * (1.0 + exact[k].abs()),
+                "spectral ({s},{t}): {} vs {}",
+                est,
+                exact[k]
+            );
+        }
+        let eps = 0.5;
+        let q = sgl_core::ResistanceSketch::recommended_projections(n, eps);
+        let jl = sgl_core::ResistanceSketch::build(&g, q, seed ^ 0x9E37).unwrap();
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            let est = jl.estimate(s, t).unwrap();
+            prop_assert!(
+                est >= (1.0 - eps) * exact[k] && est <= (1.0 + eps) * exact[k],
+                "jl ({s},{t}): {} outside (1±ε)·{}",
+                est,
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn solver_backends_agree_on_small_random_graphs(
+        n in 6usize..20,
+        extra in 0usize..8,
+        seed in 0u64..300,
+    ) {
+        use sgl_core::{PolicyMethod, SolverPolicy};
+        let g = random_connected_graph(n, extra, seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xF00);
+        let mut b = rng.normal_vec(n);
+        vecops::project_out_mean(&mut b);
+        let reference = SolverPolicy::default()
+            .with_method(PolicyMethod::DenseCholesky)
+            .build_handle(&g)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for method in [
+            PolicyMethod::Auto,
+            PolicyMethod::TreePcg,
+            PolicyMethod::AmgPcg,
+            PolicyMethod::JacobiPcg,
+            PolicyMethod::IcholPcg,
+        ] {
+            let h = SolverPolicy::default()
+                .with_method(method)
+                .build_handle(&g)
+                .unwrap();
+            let x = h.solve(&b).unwrap();
+            let d = vecops::sub(&x, &reference);
+            prop_assert!(
+                vecops::norm2(&d) / vecops::norm2(&reference).max(1e-300) < 1e-6,
+                "{:?} disagrees with the dense reference",
+                method
+            );
+        }
+    }
+
+    #[test]
     fn scaling_inverts_uniform_weight_distortion(
         n in 8usize..16,
         factor in 0.05f64..20.0,
