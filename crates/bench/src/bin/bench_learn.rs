@@ -1,0 +1,236 @@
+//! End-to-end learning-loop benchmark across the parallel execution
+//! layer: the full SGL pipeline (kNN build → densification loop → edge
+//! scaling) on several scenarios, at 1 worker thread and at N, emitting
+//! `target/repro/BENCH_learn.json` — the tracked perf trajectory for
+//! every future scaling PR.
+//!
+//! Scenarios:
+//! * `grid`     — 2-D mesh with simulated voltage/current measurements;
+//! * `delaunay` — Delaunay triangulation of random points (mesh-like,
+//!   irregular degrees);
+//! * `knn-cloud` — a raw point cloud whose coordinates are the data
+//!   matrix (GRASPEL-style attribute graph learning, voltage-only).
+//!
+//! Besides the timings the bench *asserts* the parallel determinism
+//! contract: the graph learned at N threads must be identical (same
+//! edges, bit-identical weights) to the 1-thread run.
+//!
+//! Usage: `bench_learn [--threads N] [--m 30] [--iters 6] [--quick]`
+
+use sgl_bench::{banner, fix, repro_dir, time, Args, Table};
+use sgl_core::{LearnResult, Measurements, SglConfig, SglSession};
+use sgl_datasets::delaunay::{delaunay, Point};
+use sgl_graph::Graph;
+use sgl_linalg::{par, DenseMatrix, Rng};
+use sgl_solver::SolveStats;
+use std::io::Write;
+
+/// A named workload: measurements to learn from (and the truth size).
+struct Scenario {
+    name: &'static str,
+    nodes: usize,
+    meas: Measurements,
+}
+
+/// Delaunay mesh over `n` uniform random points, edge weight `1/dist`.
+fn delaunay_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.uniform(), rng.uniform()))
+        .collect();
+    let mut edges = Vec::new();
+    for tri in delaunay(&pts) {
+        for (a, b) in [(tri[0], tri[1]), (tri[1], tri[2]), (tri[0], tri[2])] {
+            let dx = pts[a].x - pts[b].x;
+            let dy = pts[a].y - pts[b].y;
+            let d = (dx * dx + dy * dy).sqrt().max(1e-9);
+            edges.push((a, b, 1.0 / d));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Random Gaussian-mixture point cloud (`n × dim`) used directly as the
+/// data matrix: attribute-graph learning with no simulated circuit.
+fn point_cloud(n: usize, dim: usize, seed: u64) -> DenseMatrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..4).map(|_| rng.normal_vec(dim)).collect();
+    DenseMatrix::from_fn(n, dim, |i, j| {
+        3.0 * centers[i % 4][j] + rng.standard_normal()
+    })
+}
+
+struct Run {
+    threads: usize,
+    wall_s: f64,
+    iterations: usize,
+    edges: usize,
+    converged: bool,
+    solver: SolveStats,
+    result: LearnResult,
+}
+
+fn run_learn(scenario: &Scenario, config: &SglConfig, threads: usize) -> Run {
+    let cfg = config.clone().with_parallelism(threads);
+    let (result, wall_s) = time(|| {
+        let mut session = SglSession::new(cfg, &scenario.meas).expect("session");
+        session.run_to_completion().expect("learning");
+        session.finish().expect("finish")
+    });
+    Run {
+        threads,
+        wall_s,
+        iterations: result.trace.len(),
+        edges: result.graph.num_edges(),
+        converged: result.converged,
+        solver: result.solver_stats,
+        result,
+    }
+}
+
+/// Panic unless the two runs learned bit-identical graphs.
+fn assert_identical(name: &str, a: &Run, b: &Run) {
+    assert_eq!(
+        a.result.graph.num_edges(),
+        b.result.graph.num_edges(),
+        "{name}: edge counts diverge across thread counts"
+    );
+    for (ea, eb) in a.result.graph.edges().iter().zip(b.result.graph.edges()) {
+        assert_eq!(
+            (ea.u, ea.v, ea.weight),
+            (eb.u, eb.v, eb.weight),
+            "{name}: learned graphs diverge across thread counts"
+        );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let threads: usize = args.get("threads", par::max_threads().max(2));
+    let m: usize = args.get("m", if quick { 15 } else { 30 });
+    let iters: usize = args.get("iters", if quick { 4 } else { 6 });
+    banner(
+        "BENCH learn",
+        "full learning loop at 1 thread vs N threads",
+        &[
+            ("threads", threads.to_string()),
+            ("M", m.to_string()),
+            ("iters", iters.to_string()),
+            ("host_cores", par::max_threads().to_string()),
+        ],
+    );
+
+    // Fixed iteration budget (tol 0) so every run does identical work.
+    let config = SglConfig::default()
+        .with_tol(0.0)
+        .with_max_iterations(iters)
+        .with_scale_edges(true);
+
+    let (grid_side, delaunay_n, cloud_n) = if quick {
+        (24, 600, 500)
+    } else {
+        (100, 4000, 2500)
+    };
+    let mut scenarios = Vec::new();
+    {
+        let truth = sgl_datasets::grid2d(grid_side, grid_side);
+        scenarios.push(Scenario {
+            name: "grid",
+            nodes: truth.num_nodes(),
+            meas: Measurements::generate(&truth, m, 7).expect("grid measurements"),
+        });
+    }
+    {
+        let truth = delaunay_graph(delaunay_n, 11);
+        scenarios.push(Scenario {
+            name: "delaunay",
+            nodes: truth.num_nodes(),
+            meas: Measurements::generate(&truth, m, 13).expect("delaunay measurements"),
+        });
+    }
+    {
+        let cloud = point_cloud(cloud_n, m, 17);
+        scenarios.push(Scenario {
+            name: "knn-cloud",
+            nodes: cloud_n,
+            meas: Measurements::from_voltages(cloud).expect("cloud measurements"),
+        });
+    }
+
+    let mut table = Table::new(&[
+        "scenario",
+        "nodes",
+        "threads",
+        "wall_s",
+        "speedup",
+        "iters",
+        "edges",
+        "pcg_iters",
+    ]);
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let serial = run_learn(sc, &config, 1);
+        let parallel = run_learn(sc, &config, threads);
+        assert_identical(sc.name, &serial, &parallel);
+        println!(
+            "{}: learned graphs identical at 1 and {} threads ✓",
+            sc.name, threads
+        );
+        for run in [serial, parallel] {
+            let speedup = rows
+                .iter()
+                .find(|r: &&(&str, usize, Run)| r.0 == sc.name && r.2.threads == 1)
+                .map(|r| r.2.wall_s / run.wall_s)
+                .unwrap_or(1.0);
+            table.row(&[
+                sc.name.to_string(),
+                sc.nodes.to_string(),
+                run.threads.to_string(),
+                fix(run.wall_s, 3),
+                fix(speedup, 2),
+                run.iterations.to_string(),
+                run.edges.to_string(),
+                run.solver.iterations.to_string(),
+            ]);
+            rows.push((sc.name, sc.nodes, run));
+        }
+    }
+    table.print();
+
+    // Hand-rolled JSON (no serde in the offline image).
+    let mut json = String::from("{\n  \"bench\": \"learn\",\n");
+    json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
+    json.push_str(&format!("  \"threads\": {threads},\n  \"rows\": [\n"));
+    for (i, (name, nodes, run)) in rows.iter().enumerate() {
+        let t1 = rows
+            .iter()
+            .find(|r| r.0 == *name && r.2.threads == 1)
+            .map(|r| r.2.wall_s)
+            .unwrap_or(run.wall_s);
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"nodes\": {}, \"threads\": {}, \
+             \"wall_s\": {:.9}, \"speedup_vs_serial\": {:.4}, \"iterations\": {}, \
+             \"edges\": {}, \"converged\": {}, \"solver_solves\": {}, \
+             \"solver_pcg_iterations\": {}, \"solver_last_residual\": {:.3e}}}{}\n",
+            name,
+            nodes,
+            run.threads,
+            run.wall_s,
+            t1 / run.wall_s,
+            run.iterations,
+            run.edges,
+            run.converged,
+            run.solver.solves,
+            run.solver.iterations,
+            run.solver.last_relative_residual,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = repro_dir().join("BENCH_learn.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_learn.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_learn.json");
+    println!("\nwrote {}", path.display());
+}

@@ -54,6 +54,9 @@ pub struct LearnResult {
     pub scale_factor: Option<f64>,
     /// The final spectral embedding of the learned graph.
     pub embedding: Embedding,
+    /// Lifetime Laplacian-solve statistics of the run (all handle
+    /// revisions combined); all-zero for a solver-free pipeline.
+    pub solver_stats: sgl_solver::SolveStats,
 }
 
 impl LearnResult {

@@ -37,15 +37,15 @@ use sgl_knn::{KnnGraphConfig, KnnMethod};
 use sgl_solver::{PolicyMethod, ReuseMode, SolverPolicy};
 
 /// kNN construction settings *minus* the neighbor count `k`, which is
-/// owned by [`SglConfig::k`] alone.
+/// owned by [`SglConfig::k`] alone. Worker threads are not a kNN-local
+/// concern either: the brute-force search fans out over the shared
+/// parallel layer, governed by [`SglConfig::parallelism`].
 #[derive(Debug, Clone)]
 pub struct KnnSettings {
     /// Search backend (exact brute force or approximate HNSW).
     pub method: KnnMethod,
     /// Relative floor for squared distances (guards duplicate rows).
     pub dist_floor_rel: f64,
-    /// Worker threads for the brute-force path (0 = auto).
-    pub threads: usize,
 }
 
 impl Default for KnnSettings {
@@ -54,7 +54,6 @@ impl Default for KnnSettings {
         KnnSettings {
             method: d.method,
             dist_floor_rel: d.dist_floor_rel,
-            threads: d.threads,
         }
     }
 }
@@ -66,7 +65,6 @@ impl KnnSettings {
             k,
             method: self.method.clone(),
             dist_floor_rel: self.dist_floor_rel,
-            threads: self.threads,
         }
     }
 }
@@ -114,6 +112,15 @@ pub struct SglConfig {
     /// the pipeline materializes: exact solves, the JL sketch, or the
     /// solver-free spectral sketch.
     pub resistance: ResistanceMethod,
+    /// Worker threads for every parallel stage the session runs — kNN
+    /// table builds, batched Laplacian solves, candidate scoring, and
+    /// the row-partitioned sparse kernels. `0` (the default) uses all
+    /// available cores (subject to the `SGL_NUM_THREADS` /
+    /// `RAYON_NUM_THREADS` environment overrides); `1` pins the
+    /// guaranteed-serial path. Results are bit-identical at every
+    /// setting — parallelism only changes wall-clock, never the learned
+    /// graph.
+    pub parallelism: usize,
 }
 
 impl Default for SglConfig {
@@ -132,6 +139,7 @@ impl Default for SglConfig {
             seed: 0x5617,
             solver: SolverPolicy::default(),
             resistance: ResistanceMethod::default(),
+            parallelism: 0,
         }
     }
 }
@@ -261,6 +269,13 @@ impl SglConfig {
         self.resistance = resistance;
         self
     }
+
+    /// Builder-style setter for the worker-thread count
+    /// (0 = all cores, 1 = serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// Typed builder for [`SglConfig`]; obtained from [`SglConfig::builder`].
@@ -382,6 +397,13 @@ impl SglConfigBuilder {
     /// solver-free spectral sketch).
     pub fn resistance(mut self, resistance: ResistanceMethod) -> Self {
         self.cfg.resistance = resistance;
+        self
+    }
+
+    /// Worker threads for every parallel stage of the run (0 = all
+    /// cores, 1 = guaranteed serial; results are identical either way).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.cfg.parallelism = parallelism;
         self
     }
 
@@ -534,6 +556,14 @@ mod tests {
             .solver_policy(SolverPolicy::default().with_rtol(f64::NAN))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn parallelism_threads_through_builder() {
+        assert_eq!(SglConfig::default().parallelism, 0);
+        let c = SglConfig::builder().parallelism(1).build().unwrap();
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(SglConfig::default().with_parallelism(4).parallelism, 4);
     }
 
     #[test]

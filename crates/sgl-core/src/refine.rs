@@ -119,18 +119,29 @@ pub fn refine_weights(
     let mut trace = Vec::with_capacity(opts.rounds);
     for round in 1..=opts.rounds {
         let sketch = ResistanceSketch::build(graph, q, opts.seed.wrapping_add(round as u64))?;
+        let num_edges = graph.num_edges();
+        // Per-edge scoring is independent (the sketch is read-only), so
+        // it fans out across the ambient thread count; the weight writes
+        // and the distortion reduction happen serially afterwards in
+        // edge order, keeping the result identical at any thread count.
+        let etas: Vec<f64> = {
+            // Reborrow immutably for the parallel read-only phase.
+            let g: &Graph = graph;
+            sgl_linalg::par::try_map_indexed(num_edges, 64, |i| {
+                let e = g.edge(i);
+                let reff = sketch.estimate(e.u, e.v)?.max(f64::MIN_POSITIVE);
+                Ok::<f64, SglError>((m * reff / zdata[i]).max(f64::MIN_POSITIVE))
+            })?
+        };
         let mut max_log = 0.0f64;
         let mut sum_log = 0.0f64;
-        let num_edges = graph.num_edges();
-        for i in 0..num_edges {
-            let e = graph.edge(i);
-            let reff = sketch.estimate(e.u, e.v)?.max(f64::MIN_POSITIVE);
-            let eta = (m * reff / zdata[i]).max(f64::MIN_POSITIVE);
+        for (i, &eta) in etas.iter().enumerate() {
             let log_eta = eta.ln();
             max_log = max_log.max(log_eta.abs());
             sum_log += log_eta.abs();
             let factor = eta.powf(opts.damping).clamp(1.0 / opts.clamp, opts.clamp);
-            graph.set_weight(i, e.weight * factor);
+            let w = graph.edge(i).weight;
+            graph.set_weight(i, w * factor);
         }
         trace.push(RefineRecord {
             round,

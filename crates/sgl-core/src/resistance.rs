@@ -342,6 +342,12 @@ impl ResistanceEstimator for ResistanceSketch {
     fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError> {
         self.estimate(s, t)
     }
+
+    fn resistances(&self, pairs: &[(usize, usize)]) -> Result<Vec<f64>, SglError> {
+        // O(q) per query and read-only: pair-partition across the
+        // ambient thread count (each entry identical to the serial scan).
+        sgl_linalg::par::try_map_indexed(pairs.len(), 64, |i| self.estimate(pairs[i].0, pairs[i].1))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -431,13 +437,17 @@ impl SpectralSketch {
                 )
             };
         let mut rows = DenseMatrix::zeros(width, n);
-        for (j, v) in vectors.iter().enumerate() {
-            let denom = values[j].max(f64::MIN_POSITIVE).sqrt();
-            let row = rows.row_mut(j);
-            for (r, x) in row.iter_mut().zip(v) {
-                *r = x / denom;
+        // Row builds are independent scalings of distinct eigenvectors:
+        // partition them across the ambient thread count.
+        sgl_linalg::par::for_each_row_chunk(rows.as_mut_slice(), n, 8, |first, chunk| {
+            for (r, row) in chunk.chunks_mut(n).enumerate() {
+                let j = first + r;
+                let denom = values[j].max(f64::MIN_POSITIVE).sqrt();
+                for (out, x) in row.iter_mut().zip(&vectors[j]) {
+                    *out = x / denom;
+                }
             }
-        }
+        });
         Ok(SpectralSketch {
             rows,
             eigenvalues: values,
@@ -482,6 +492,10 @@ impl ResistanceEstimator for SpectralSketch {
 
     fn resistance(&self, s: usize, t: usize) -> Result<f64, SglError> {
         self.estimate(s, t)
+    }
+
+    fn resistances(&self, pairs: &[(usize, usize)]) -> Result<Vec<f64>, SglError> {
+        sgl_linalg::par::try_map_indexed(pairs.len(), 64, |i| self.estimate(pairs[i].0, pairs[i].1))
     }
 }
 

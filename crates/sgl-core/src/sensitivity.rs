@@ -106,13 +106,17 @@ impl CandidatePool {
         &self.candidates
     }
 
-    /// Sensitivities of all remaining candidates under the embedding.
+    /// Sensitivities of all remaining candidates under the embedding,
+    /// candidate-partitioned across the ambient
+    /// [`par`](sgl_linalg::par) thread count (each entry is an
+    /// independent eq.-13 evaluation, so the vector is identical at any
+    /// thread count).
     pub fn sensitivities(&self, embedding: &Embedding) -> Vec<f64> {
         let m = self.num_measurements as f64;
-        self.candidates
-            .iter()
-            .map(|c| embedding.distance_sq(c.u, c.v) - c.zdata / m)
-            .collect()
+        sgl_linalg::par::map_indexed(self.candidates.len(), 512, |i| {
+            let c = &self.candidates[i];
+            embedding.distance_sq(c.u, c.v) - c.zdata / m
+        })
     }
 
     /// Maximum sensitivity (`s_max` of Step 4); `None` on an empty pool.

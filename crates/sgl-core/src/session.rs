@@ -49,6 +49,7 @@ use crate::sensitivity::CandidatePool;
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::Graph;
 use sgl_knn::build_knn_graph;
+use sgl_linalg::par::with_threads_hint as with_session_threads;
 use sgl_solver::SolverContext;
 use std::borrow::Cow;
 
@@ -161,7 +162,9 @@ impl<'m> SglSession<'m> {
                 "need at least 4 nodes to learn a graph".into(),
             ));
         }
-        let knn_graph = build_knn_graph(measurements.voltages(), &config.knn_graph_config());
+        let knn_graph = with_session_threads(config.parallelism, || {
+            build_knn_graph(measurements.voltages(), &config.knn_graph_config())
+        });
         let mut session = Self::with_candidate_graph(config, measurements, knn_graph)?;
         session.knn_candidates = true;
         Ok(session)
@@ -308,12 +311,14 @@ impl<'m> SglSession<'m> {
     /// # Errors
     /// Propagates solver/eigensolver construction failures.
     pub fn resistance_estimator(&mut self) -> Result<Box<dyn ResistanceEstimator>, SglError> {
-        build_resistance_estimator(
-            &self.graph,
-            self.config.resistance,
-            &mut self.solver,
-            self.config.seed,
-        )
+        with_session_threads(self.config.parallelism, || {
+            build_resistance_estimator(
+                &self.graph,
+                self.config.resistance,
+                &mut self.solver,
+                self.config.seed,
+            )
+        })
     }
 
     /// Whether the densification loop has halted (converged, exhausted,
@@ -378,11 +383,17 @@ impl<'m> SglSession<'m> {
         record
     }
 
-    /// Run one iteration of the densification loop (Steps 2–4).
+    /// Run one iteration of the densification loop (Steps 2–4), under
+    /// the session's `parallelism` knob.
     ///
     /// # Errors
     /// Propagates embedding/solver failures.
     pub fn step(&mut self) -> Result<StepOutcome, SglError> {
+        let parallelism = self.config.parallelism;
+        with_session_threads(parallelism, || self.step_inner())
+    }
+
+    fn step_inner(&mut self) -> Result<StepOutcome, SglError> {
         if self.halted {
             return Ok(StepOutcome::AlreadyDone);
         }
@@ -491,10 +502,12 @@ impl<'m> SglSession<'m> {
     pub fn extend_measurements(&mut self, batch: &Measurements) -> Result<usize, SglError> {
         self.measurements = Cow::Owned(self.measurements.hstack(batch)?);
         if self.knn_candidates {
-            self.knn_graph = build_knn_graph(
-                self.measurements.voltages(),
-                &self.config.knn_graph_config(),
-            );
+            self.knn_graph = with_session_threads(self.config.parallelism, || {
+                build_knn_graph(
+                    self.measurements.voltages(),
+                    &self.config.knn_graph_config(),
+                )
+            });
         }
         self.pool =
             CandidatePool::from_graph_excluding(&self.knn_graph, &self.graph, &self.measurements);
@@ -523,10 +536,13 @@ impl<'m> SglSession<'m> {
     /// # Errors
     /// Propagates embedding/solver failures.
     pub fn finish(mut self) -> Result<LearnResult, SglError> {
-        self.ensure_embedding()?;
+        let parallelism = self.config.parallelism;
+        with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
         let scale_factor = if self.config.scale_edges {
-            self.scaler
-                .scale(&mut self.graph, &self.measurements, &mut self.solver)?
+            with_session_threads(parallelism, || {
+                self.scaler
+                    .scale(&mut self.graph, &self.measurements, &mut self.solver)
+            })?
         } else {
             None
         };
@@ -537,6 +553,7 @@ impl<'m> SglSession<'m> {
             converged: self.converged,
             scale_factor,
             embedding: self.embedding.expect("embedding ensured above"),
+            solver_stats: self.solver.cumulative_stats(),
         };
         for obs in &mut self.observers {
             obs.on_finish(&result);

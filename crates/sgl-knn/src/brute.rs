@@ -1,10 +1,12 @@
 //! Exact brute-force nearest-neighbor search.
 
 use crate::NearestNeighbors;
-use sgl_linalg::{vecops, DenseMatrix};
+use sgl_linalg::{par, vecops, DenseMatrix};
 
-/// Exact kNN by linear scan, parallelized across queries with scoped
-/// threads when building whole neighbor tables.
+/// Exact kNN by linear scan; whole neighbor tables are built in parallel
+/// across queries through the shared [`par`] layer (the ambient thread
+/// count — `SglConfig::parallelism`, a [`par::with_threads`] scope, or
+/// `SGL_NUM_THREADS` — controls the fan-out).
 #[derive(Debug, Clone)]
 pub struct BruteForceKnn {
     data: DenseMatrix,
@@ -16,39 +18,15 @@ impl BruteForceKnn {
         BruteForceKnn { data: data.clone() }
     }
 
-    /// Neighbor tables for every indexed point (excluding self), computed
-    /// in parallel with `threads` workers (0 = use available parallelism).
-    pub fn all_knn(&self, k: usize, threads: usize) -> Vec<Vec<(usize, f64)>> {
+    /// Neighbor tables for every indexed point (excluding self),
+    /// query-partitioned across the ambient [`par`] thread count. Each
+    /// per-point table is computed by the identical serial scan, so the
+    /// result is the same at every thread count.
+    pub fn all_knn(&self, k: usize) -> Vec<Vec<(usize, f64)>> {
         let n = self.data.nrows();
-        let workers = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(n.max(1))
-        } else {
-            threads
-        };
-        let mut out: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let chunk = n.div_ceil(workers.max(1));
-        std::thread::scope(|s| {
-            let mut rest: &mut [Vec<(usize, f64)>] = &mut out;
-            let mut start = 0usize;
-            let mut handles = Vec::new();
-            while start < n {
-                let take = chunk.min(n - start);
-                let (head, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let lo = start;
-                let this = &*self;
-                handles.push(s.spawn(move || {
-                    for (off, slot) in head.iter_mut().enumerate() {
-                        *slot = this.knn_of_point(lo + off, k);
-                    }
-                }));
-                start += take;
-            }
-        });
-        out
+        // Each query scans all n points; a handful of queries per chunk
+        // is already far more work than a fork-join.
+        par::map_indexed(n, 8, |i| self.knn_of_point(i, k))
     }
 
     fn scan(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<(usize, f64)> {
@@ -147,9 +125,21 @@ mod tests {
         let mut rng = Rng::seed_from_u64(6);
         let data = DenseMatrix::from_fn(60, 3, |_, _| rng.standard_normal());
         let idx = BruteForceKnn::new(&data);
-        let all = idx.all_knn(5, 3);
+        let all = sgl_linalg::par::with_threads(3, || idx.all_knn(5));
         for i in [0usize, 17, 59] {
             assert_eq!(all[i], idx.knn_of_point(i, 5));
+        }
+    }
+
+    #[test]
+    fn all_knn_identical_at_any_thread_count() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data = DenseMatrix::from_fn(90, 4, |_, _| rng.standard_normal());
+        let idx = BruteForceKnn::new(&data);
+        let serial = sgl_linalg::par::with_threads(1, || idx.all_knn(6));
+        for t in [2usize, 5] {
+            let par = sgl_linalg::par::with_threads(t, || idx.all_knn(6));
+            assert_eq!(par, serial, "threads = {t}");
         }
     }
 }

@@ -27,6 +27,12 @@ pub enum KnnMethod {
 }
 
 /// Configuration for [`build_knn_graph`].
+///
+/// There is no per-call thread knob: the brute-force path fans out over
+/// the shared [`par`](sgl_linalg::par) layer, so the ambient thread
+/// count (`SglConfig::parallelism`, a
+/// [`par::with_threads`](sgl_linalg::par::with_threads) scope, or
+/// `SGL_NUM_THREADS`) governs it like every other parallel stage.
 #[derive(Debug, Clone)]
 pub struct KnnGraphConfig {
     /// Neighbors per node (the paper uses `k = 5`).
@@ -35,8 +41,6 @@ pub struct KnnGraphConfig {
     pub method: KnnMethod,
     /// Relative floor for squared distances (guards duplicate rows).
     pub dist_floor_rel: f64,
-    /// Worker threads for the brute-force path (0 = auto).
-    pub threads: usize,
 }
 
 impl Default for KnnGraphConfig {
@@ -45,7 +49,6 @@ impl Default for KnnGraphConfig {
             k: 5,
             method: KnnMethod::Brute,
             dist_floor_rel: 1e-8,
-            threads: 0,
         }
     }
 }
@@ -66,7 +69,7 @@ pub fn build_knn_graph(x: &DenseMatrix, config: &KnnGraphConfig) -> Graph {
     let tables: Vec<Vec<(usize, f64)>> = match &config.method {
         KnnMethod::Brute => {
             let idx = BruteForceKnn::new(x);
-            idx.all_knn(config.k, config.threads)
+            idx.all_knn(config.k)
         }
         KnnMethod::Hnsw(params) => {
             let idx = HnswIndex::build(x, params.clone());

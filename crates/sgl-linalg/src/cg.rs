@@ -71,6 +71,14 @@ pub struct CgOptions {
     /// Project iterates and rhs onto the mean-zero subspace (for singular
     /// Laplacians whose null space is spanned by the constant vector).
     pub project_mean: bool,
+    /// Apply the operator through the full mean-zero sandwich
+    /// `P A P`: project a copy of the search direction before `A` and the
+    /// product after (in addition to the `project_mean` projection).
+    /// Equivalent to wrapping `A` in a
+    /// [`ProjectedOperator`](crate::ProjectedOperator) — bit-for-bit, but
+    /// through a reusable workspace buffer instead of a per-iteration
+    /// clone.
+    pub project_apply_input: bool,
 }
 
 impl Default for CgOptions {
@@ -80,6 +88,7 @@ impl Default for CgOptions {
             atol: 1e-300,
             max_iter: 10_000,
             project_mean: false,
+            project_apply_input: false,
         }
     }
 }
@@ -93,6 +102,56 @@ pub struct CgSolution {
     pub iterations: usize,
     /// Final relative residual `‖b − A x‖ / ‖b‖`.
     pub relative_residual: f64,
+}
+
+/// Iteration statistics of an in-place CG solve ([`pcg_solve_with`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgIterStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Reusable scratch buffers for [`pcg_solve_with`]: holding one of these
+/// across a batch of solves makes every solve after the first
+/// allocation-free (buffers are grown on demand and kept).
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    rhs: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    /// Projected copy of `p` for `project_apply_input`.
+    pp: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace (buffers are sized on first use).
+    pub fn new() -> Self {
+        CgWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `n`-dimensional solves.
+    pub fn with_dim(n: usize) -> Self {
+        let mut ws = CgWorkspace::default();
+        ws.prepare(n);
+        ws
+    }
+
+    fn prepare(&mut self, n: usize) {
+        for buf in [
+            &mut self.rhs,
+            &mut self.r,
+            &mut self.z,
+            &mut self.p,
+            &mut self.ap,
+            &mut self.pp,
+        ] {
+            buf.resize(n, 0.0);
+        }
+    }
 }
 
 /// Solve `A x = b` by plain conjugate gradients.
@@ -119,6 +178,33 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     b: &[f64],
     opts: &CgOptions,
 ) -> Result<CgSolution, LinalgError> {
+    let mut x = vec![0.0; a.dim()];
+    let mut ws = CgWorkspace::new();
+    let stats = pcg_solve_with(a, m, b, opts, &mut ws, &mut x)?;
+    Ok(CgSolution {
+        x,
+        iterations: stats.iterations,
+        relative_residual: stats.relative_residual,
+    })
+}
+
+/// [`pcg_solve`] writing into a caller-provided solution buffer and
+/// drawing all scratch vectors from a reusable [`CgWorkspace`] — the
+/// allocation-free inner loop every batched solver fans out over.
+///
+/// `x` is overwritten (the initial guess is always zero, matching
+/// [`pcg_solve`]).
+///
+/// # Errors
+/// See [`pcg_solve`].
+pub fn pcg_solve_with<A: LinearOperator, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    opts: &CgOptions,
+    ws: &mut CgWorkspace,
+    x: &mut [f64],
+) -> Result<CgIterStats, LinalgError> {
     let n = a.dim();
     if b.len() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -127,38 +213,54 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
             actual: b.len(),
         });
     }
-    let mut rhs = b.to_vec();
+    assert_eq!(x.len(), n, "cg solution buffer length mismatch");
+    ws.prepare(n);
+    let CgWorkspace {
+        rhs,
+        r,
+        z,
+        p,
+        ap,
+        pp,
+    } = ws;
+    rhs.copy_from_slice(b);
     if opts.project_mean {
-        vecops::project_out_mean(&mut rhs);
+        vecops::project_out_mean(rhs);
     }
-    let bnorm = vecops::norm2(&rhs).max(opts.atol);
+    let bnorm = vecops::norm2(rhs).max(opts.atol);
 
-    let mut x = vec![0.0; n];
-    let mut r = rhs.clone();
-    let mut z = vec![0.0; n];
-    m.apply(&r, &mut z);
+    x.fill(0.0);
+    r.copy_from_slice(rhs);
+    m.apply(r, z);
     if opts.project_mean {
-        vecops::project_out_mean(&mut z);
+        vecops::project_out_mean(z);
     }
-    let mut p = z.clone();
-    let mut rz = vecops::dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    p.copy_from_slice(z);
+    let mut rz = vecops::dot(r, z);
 
-    let mut rel = vecops::norm2(&r) / bnorm;
+    let mut rel = vecops::norm2(r) / bnorm;
     if rel <= opts.rtol {
-        return Ok(CgSolution {
-            x,
+        return Ok(CgIterStats {
             iterations: 0,
             relative_residual: rel,
         });
     }
 
     for iter in 1..=opts.max_iter {
-        a.apply(&p, &mut ap);
-        if opts.project_mean {
-            vecops::project_out_mean(&mut ap);
+        if opts.project_apply_input {
+            // The P·A·P sandwich, buffered: bit-identical to applying a
+            // ProjectedOperator, without its per-iteration clone.
+            pp.copy_from_slice(p);
+            vecops::project_out_mean(pp);
+            a.apply(pp, ap);
+            vecops::project_out_mean(ap);
+        } else {
+            a.apply(p, ap);
         }
-        let pap = vecops::dot(&p, &ap);
+        if opts.project_mean {
+            vecops::project_out_mean(ap);
+        }
+        let pap = vecops::dot(p, ap);
         if pap <= 0.0 {
             // Semi-definite breakdown: direction in (numerical) null space.
             return Err(LinalgError::NotConverged {
@@ -168,24 +270,23 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
             });
         }
         let alpha = rz / pap;
-        vecops::axpy(alpha, &p, &mut x);
-        vecops::axpy(-alpha, &ap, &mut r);
-        rel = vecops::norm2(&r) / bnorm;
+        vecops::axpy(alpha, p, x);
+        vecops::axpy(-alpha, ap, r);
+        rel = vecops::norm2(r) / bnorm;
         if rel <= opts.rtol {
             if opts.project_mean {
-                vecops::project_out_mean(&mut x);
+                vecops::project_out_mean(x);
             }
-            return Ok(CgSolution {
-                x,
+            return Ok(CgIterStats {
                 iterations: iter,
                 relative_residual: rel,
             });
         }
-        m.apply(&r, &mut z);
+        m.apply(r, z);
         if opts.project_mean {
-            vecops::project_out_mean(&mut z);
+            vecops::project_out_mean(z);
         }
-        let rz_new = vecops::dot(&r, &z);
+        let rz_new = vecops::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -310,5 +411,32 @@ mod tests {
             cg_solve(&a, &[1.0; 4], &CgOptions::default()),
             Err(LinalgError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // A shared workspace across several solves (the batched-solver
+        // pattern) must give exactly the allocating path's answers, even
+        // when a previous solve left different data in the buffers.
+        let a = poisson1d(80);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut ws = CgWorkspace::new();
+        for _ in 0..3 {
+            let b = rng.normal_vec(80);
+            let fresh = cg_solve(&a, &b, &CgOptions::default()).unwrap();
+            let mut x = vec![f64::NAN; 80];
+            let st = pcg_solve_with(
+                &a,
+                &IdentityPreconditioner,
+                &b,
+                &CgOptions::default(),
+                &mut ws,
+                &mut x,
+            )
+            .unwrap();
+            assert_eq!(x, fresh.x);
+            assert_eq!(st.iterations, fresh.iterations);
+            assert_eq!(st.relative_residual, fresh.relative_residual);
+        }
     }
 }

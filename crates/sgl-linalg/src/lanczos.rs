@@ -60,6 +60,33 @@ pub struct SpectralPairs {
     pub vectors: DenseMatrix,
 }
 
+/// Reusable buffers for the Lanczos iteration ([`lanczos_with`]).
+///
+/// The basis is stored as one flat `m × n` row-major buffer, so growing
+/// the subspace is an amortized `extend` instead of a fresh `Vec` per
+/// iteration. Callers that run Lanczos repeatedly can additionally hold
+/// one workspace across calls to make whole calls allocation-free once
+/// the buffers have grown to size ([`lanczos`] itself allocates a fresh
+/// workspace per call).
+#[derive(Debug, Clone, Default)]
+pub struct LanczosWorkspace {
+    /// Lanczos vectors, row-major `m × n`.
+    basis: Vec<f64>,
+    /// The working vector `w`.
+    w: Vec<f64>,
+    /// Normalized deflation constraints, row-major.
+    cons: Vec<f64>,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+}
+
+impl LanczosWorkspace {
+    /// An empty workspace (buffers are sized on first use).
+    pub fn new() -> Self {
+        LanczosWorkspace::default()
+    }
+}
+
 /// Compute the `k` smallest eigenpairs of `op`, keeping the basis
 /// orthogonal to every vector in `constraints` (deflation).
 ///
@@ -90,13 +117,40 @@ pub fn lanczos_largest<A: LinearOperator>(
 }
 
 /// Lanczos driver: grows the Krylov subspace with full reorthogonalization,
-/// monitoring Ritz residuals at the requested end of the spectrum.
+/// monitoring Ritz residuals at the requested end of the spectrum. A
+/// fresh workspace is allocated per call; use [`lanczos_with`] to amortize
+/// it across calls.
 pub fn lanczos<A: LinearOperator>(
     op: &A,
     k: usize,
     which: Which,
     constraints: &[Vec<f64>],
     opts: &LanczosOptions,
+) -> Result<SpectralPairs, LinalgError> {
+    lanczos_with(
+        op,
+        k,
+        which,
+        constraints,
+        opts,
+        &mut LanczosWorkspace::new(),
+    )
+}
+
+/// [`lanczos`] drawing every buffer — the growing basis included — from a
+/// reusable [`LanczosWorkspace`], so the inner loop performs no
+/// per-iteration allocation (the basis grows by amortized `extend` into
+/// the workspace) and repeat calls reuse the grown buffers outright.
+///
+/// # Errors
+/// See [`lanczos`].
+pub fn lanczos_with<A: LinearOperator>(
+    op: &A,
+    k: usize,
+    which: Which,
+    constraints: &[Vec<f64>],
+    opts: &LanczosOptions,
+    ws: &mut LanczosWorkspace,
 ) -> Result<SpectralPairs, LinalgError> {
     let n = op.dim();
     if k == 0 {
@@ -113,55 +167,68 @@ pub fn lanczos<A: LinearOperator>(
     }
     let max_m = opts.max_subspace.min(usable);
 
-    // Normalized constraint basis for deflation.
-    let mut cons: Vec<Vec<f64>> = Vec::with_capacity(constraints.len());
+    let LanczosWorkspace {
+        basis,
+        w,
+        cons,
+        alpha,
+        beta,
+    } = ws;
+    basis.clear();
+    alpha.clear();
+    beta.clear();
+    w.resize(n, 0.0);
+
+    // Normalized constraint basis for deflation (rows of `cons`).
+    cons.clear();
     for c in constraints {
-        let mut v = c.clone();
-        for q in &cons {
-            vecops::orthogonalize_against(q, &mut v);
+        let start = cons.len();
+        cons.extend_from_slice(c);
+        let (prev, cur) = cons.split_at_mut(start);
+        for q in prev.chunks_exact(n) {
+            vecops::orthogonalize_against(q, cur);
         }
-        if vecops::normalize(&mut v) > 1e-12 {
-            cons.push(v);
+        if vecops::normalize(cur) <= 1e-12 {
+            cons.truncate(start);
         }
     }
 
     let mut rng = Rng::seed_from_u64(opts.seed);
-    let mut v: Vec<Vec<f64>> = Vec::with_capacity(max_m);
-    let mut alpha: Vec<f64> = Vec::new();
-    let mut beta: Vec<f64> = Vec::new();
 
     // Start vector: random, deflated, normalized.
-    let mut q = rng.normal_vec(n);
-    for c in &cons {
-        vecops::orthogonalize_against(c, &mut q);
+    for x in w.iter_mut() {
+        *x = rng.standard_normal();
     }
-    if vecops::normalize(&mut q) == 0.0 {
+    for c in cons.chunks_exact(n) {
+        vecops::orthogonalize_against(c, w);
+    }
+    if vecops::normalize(w) == 0.0 {
         return Err(LinalgError::InvalidInput(
             "start vector annihilated by constraints".into(),
         ));
     }
-    v.push(q);
+    basis.extend_from_slice(w);
 
-    let mut w = vec![0.0; n];
     let check_every = 5usize;
     loop {
-        let m = v.len();
+        let m = basis.len() / n;
         // w = A v_{m-1}; the Rayleigh quotient against v_{m-1} is alpha.
-        op.apply(&v[m - 1], &mut w);
-        alpha.push(vecops::dot(&v[m - 1], &w));
+        let vlast = &basis[(m - 1) * n..m * n];
+        op.apply(vlast, w);
+        alpha.push(vecops::dot(vlast, w));
         // Deflate and full reorthogonalization (two passes) — this
         // subsumes the classical three-term recurrence and keeps the basis
         // orthogonal to working precision, preventing ghost Ritz values.
         for _ in 0..2 {
-            for c in &cons {
-                vecops::orthogonalize_against(c, &mut w);
+            for c in cons.chunks_exact(n) {
+                vecops::orthogonalize_against(c, w);
             }
-            for vj in &v {
-                vecops::orthogonalize_against(vj, &mut w);
+            for vj in basis.chunks_exact(n) {
+                vecops::orthogonalize_against(vj, w);
             }
         }
 
-        let b = vecops::norm2(&w);
+        let b = vecops::norm2(w);
         let at_cap = m == max_m;
         let invariant = b < 1e-13;
 
@@ -169,7 +236,7 @@ pub fn lanczos<A: LinearOperator>(
             // Ritz extraction on the current (possibly block-decoupled)
             // tridiagonal matrix. A zero beta from a restart decouples the
             // blocks exactly, which tridiag_eig handles natively.
-            let t = tridiag_eig(&alpha, &beta)?;
+            let t = tridiag_eig(alpha, beta)?;
             let mm = alpha.len();
             let idx: Vec<usize> = match which {
                 Which::Smallest => (0..k.min(mm)).collect(),
@@ -189,7 +256,7 @@ pub fn lanczos<A: LinearOperator>(
                 // exactly zero regardless of the last-row criterion.
                 let spans_everything = invariant && mm >= usable;
                 if all_ok || spans_everything {
-                    return Ok(assemble_ritz(&v, &t, &idx, k, n));
+                    return Ok(assemble_ritz(basis, &t, &idx, k, n));
                 }
             }
             if at_cap {
@@ -204,35 +271,37 @@ pub fn lanczos<A: LinearOperator>(
         if invariant {
             // Invariant subspace hit before convergence (eigenvalue
             // multiplicity): restart with a fresh deflated direction.
-            let mut fresh = rng.normal_vec(n);
+            for x in w.iter_mut() {
+                *x = rng.standard_normal();
+            }
             for _ in 0..2 {
-                for c in &cons {
-                    vecops::orthogonalize_against(c, &mut fresh);
+                for c in cons.chunks_exact(n) {
+                    vecops::orthogonalize_against(c, w);
                 }
-                for vj in &v {
-                    vecops::orthogonalize_against(vj, &mut fresh);
+                for vj in basis.chunks_exact(n) {
+                    vecops::orthogonalize_against(vj, w);
                 }
             }
-            if vecops::normalize(&mut fresh) < 1e-10 {
+            if vecops::normalize(w) < 1e-10 {
                 return Err(LinalgError::NotConverged {
                     method: "lanczos (no fresh direction)",
-                    iterations: v.len(),
+                    iterations: m,
                     residual: b,
                 });
             }
             beta.push(0.0);
-            v.push(fresh);
         } else {
-            vecops::scale(1.0 / b, &mut w);
+            vecops::scale(1.0 / b, w);
             beta.push(b);
-            v.push(w.clone());
         }
+        basis.extend_from_slice(w);
     }
 }
 
-/// Assemble, sort (ascending) and normalize the selected Ritz pairs.
+/// Assemble, sort (ascending) and normalize the selected Ritz pairs from
+/// the flat row-major basis.
 fn assemble_ritz(
-    v: &[Vec<f64>],
+    basis: &[f64],
     t: &crate::symeig::SymEig,
     idx: &[usize],
     k: usize,
@@ -242,7 +311,7 @@ fn assemble_ritz(
     let mut cols: Vec<Vec<f64>> = Vec::with_capacity(k);
     for &i in idx {
         let mut y = vec![0.0; n];
-        for (j, vj) in v.iter().enumerate() {
+        for (j, vj) in basis.chunks_exact(n).enumerate() {
             vecops::axpy(t.vectors.get(j, i), vj, &mut y);
         }
         vecops::normalize(&mut y);
@@ -331,6 +400,46 @@ mod tests {
         let pairs = lanczos_smallest(&csr, 5, &[ones], &LanczosOptions::default()).unwrap();
         for i in 0..5 {
             assert!((pairs.values[i] - dense.values[i + 1]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        // Repeated calls through one workspace (dirty buffers from a
+        // differently-sized previous run included) must match the fresh
+        // allocating path exactly.
+        let mut ws = LanczosWorkspace::new();
+        let big = path_laplacian(40);
+        lanczos_with(
+            &big,
+            3,
+            Which::Smallest,
+            &[vec![1.0; 40]],
+            &LanczosOptions::default(),
+            &mut ws,
+        )
+        .unwrap();
+        for n in [25usize, 30] {
+            let l = path_laplacian(n);
+            let ones = vec![1.0; n];
+            let fresh = lanczos_smallest(
+                &l,
+                4,
+                std::slice::from_ref(&ones),
+                &LanczosOptions::default(),
+            )
+            .unwrap();
+            let reused = lanczos_with(
+                &l,
+                4,
+                Which::Smallest,
+                &[ones],
+                &LanczosOptions::default(),
+                &mut ws,
+            )
+            .unwrap();
+            assert_eq!(reused.values, fresh.values);
+            assert_eq!(reused.vectors, fresh.vectors);
         }
     }
 

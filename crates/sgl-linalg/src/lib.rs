@@ -12,6 +12,8 @@
 //!   full symmetric eigensolver ([`SymEig`]).
 //! * [`CsrMatrix`] — compressed sparse row matrices and the
 //!   [`LinearOperator`] abstraction.
+//! * [`par`] — the workspace-wide fork-join parallel layer (ambient
+//!   thread counts, deterministic chunked maps, row-partitioned mutation).
 //! * [`cg`] — conjugate gradients with pluggable [`Preconditioner`]s.
 //! * [`mod@lobpcg`] / [`mod@lanczos`] — sparse eigensolvers for the smallest
 //!   Laplacian eigenpairs (deflated block LOBPCG and shift-invert
@@ -40,6 +42,7 @@ pub mod error;
 pub mod lanczos;
 pub mod lobpcg;
 pub mod operator;
+pub mod par;
 pub mod qr;
 pub mod rng;
 pub mod sparse;
@@ -47,18 +50,21 @@ pub mod symeig;
 pub mod vecops;
 
 pub use cg::{
-    cg_solve, pcg_solve, CgOptions, CgSolution, IdentityPreconditioner, JacobiPreconditioner,
-    Preconditioner,
+    cg_solve, pcg_solve, pcg_solve_with, CgIterStats, CgOptions, CgSolution, CgWorkspace,
+    IdentityPreconditioner, JacobiPreconditioner, Preconditioner,
 };
 pub use cholesky::CholeskyFactor;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use lanczos::{lanczos, lanczos_largest, lanczos_smallest, LanczosOptions, SpectralPairs};
+pub use lanczos::{
+    lanczos, lanczos_largest, lanczos_smallest, lanczos_with, LanczosOptions, LanczosWorkspace,
+    SpectralPairs,
+};
 pub use lobpcg::{lobpcg, LobpcgOptions, LobpcgResult};
 pub use operator::{
     DiagonalOperator, FnOperator, LinearOperator, ProjectedOperator, ShiftedOperator,
 };
 pub use qr::{orthonormalize_columns, QrFactor};
 pub use rng::Rng;
-pub use sparse::CsrMatrix;
+pub use sparse::{CsrEntries, CsrMatrix};
 pub use symeig::{tridiag_eig, SymEig};

@@ -1,0 +1,430 @@
+//! The workspace-wide parallel execution layer.
+//!
+//! Every parallel loop in the SGL workspace — row-partitioned sparse
+//! kernels, per-RHS solver fan-out, per-candidate scoring, kNN table
+//! builds — goes through the fork-join primitives in this module instead
+//! of spawning ad-hoc threads. The offline build carries no external
+//! thread-pool crate, so the primitives are built on [`std::thread::scope`]
+//! (plain fork-join over contiguous chunks); the API is deliberately
+//! rayon-shaped so a pool-backed implementation can be swapped in without
+//! touching call sites.
+//!
+//! # Thread-count resolution
+//!
+//! The ambient thread count used by every primitive resolves, in order:
+//!
+//! 1. `1` inside an already-running parallel region (nested parallelism is
+//!    always serial — no oversubscription);
+//! 2. the innermost [`with_threads`] override on the calling thread
+//!    (`SglConfig::parallelism` and `SolverPolicy::parallelism` are
+//!    applied through this);
+//! 3. the `SGL_NUM_THREADS` environment variable, then
+//!    `RAYON_NUM_THREADS` (kept for CI familiarity);
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! # Determinism
+//!
+//! All primitives partition work into *contiguous index chunks* and
+//! reassemble results *in chunk order*, and every per-item computation is
+//! independent, so the output is bit-identical for any thread count —
+//! including `1`, which runs inline on the calling thread without
+//! spawning at all. Reductions that would reassociate floating-point
+//! sums across a partition boundary (dot products, norms) are therefore
+//! deliberately **not** parallelized anywhere in the workspace; only
+//! per-row / per-item maps are.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Nonzero while this thread is executing inside a parallel region.
+    static IN_PARALLEL: Cell<usize> = const { Cell::new(0) };
+    /// Innermost `with_threads` override (0 = none).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The process-wide default thread count: `SGL_NUM_THREADS`, else
+/// `RAYON_NUM_THREADS`, else [`std::thread::available_parallelism`]
+/// (always at least 1). Resolved once and cached.
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        for var in ["SGL_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(s) = std::env::var(var) {
+                if let Ok(n) = s.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The thread count the *next* parallel primitive on this thread will
+/// use (see the [module docs](self) for the resolution order).
+pub fn current_threads() -> usize {
+    if IN_PARALLEL.with(Cell::get) != 0 {
+        return 1;
+    }
+    let o = OVERRIDE.with(Cell::get);
+    if o >= 1 {
+        o
+    } else {
+        max_threads()
+    }
+}
+
+/// Restores a thread-local `Cell<usize>`'s previous value on drop, so
+/// overrides unwind correctly even when the scoped closure panics (a
+/// caught panic must not leak a stale override for the thread's life).
+struct CellGuard {
+    cell: &'static std::thread::LocalKey<Cell<usize>>,
+    prev: usize,
+}
+
+impl Drop for CellGuard {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run `f` with the ambient thread count overridden to `n` on this
+/// thread (`0` = clear the override and fall back to the environment /
+/// system default). Overrides nest; the previous value is restored when
+/// `f` returns — including by panic unwind. `with_threads(1, f)` is the
+/// guaranteed-serial path: every primitive under it runs inline without
+/// spawning.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = CellGuard {
+        cell: &OVERRIDE,
+        prev: OVERRIDE.with(|o| o.replace(n)),
+    };
+    f()
+}
+
+/// Run `f` with the ambient thread count overridden to `n` when
+/// `n >= 1`, or under the unchanged ambient count when `n == 0` (the
+/// "inherit" convention of the `parallelism` config knobs — note this
+/// differs from `with_threads(0, f)`, which *clears* any outer
+/// override back to the environment/system default).
+pub fn with_threads_hint<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    if n == 0 {
+        f()
+    } else {
+        with_threads(n, f)
+    }
+}
+
+/// Mark the current thread as inside a parallel region for the duration
+/// of `f` (panic-safe), forcing nested primitives serial.
+fn serial_region<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = CellGuard {
+        cell: &IN_PARALLEL,
+        prev: IN_PARALLEL.with(|flag| flag.replace(1)),
+    };
+    f()
+}
+
+/// Number of chunks to split `n_items` into, given that no chunk should
+/// shrink below `min_chunk` items: `min(current_threads(), ⌈n/min⌉)`.
+fn num_chunks(n_items: usize, min_chunk: usize) -> usize {
+    if n_items == 0 {
+        return 1;
+    }
+    current_threads()
+        .min(n_items.div_ceil(min_chunk.max(1)))
+        .max(1)
+}
+
+/// Contiguous near-equal partition of `0..n` into `chunks` ranges.
+fn partition(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A: Send, B: Send>(
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if current_threads() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| serial_region(fb));
+        let a = serial_region(fa);
+        (a, hb.join().expect("par::join worker panicked"))
+    })
+}
+
+/// Split `data` at multiples of `row_len` and call `f(first_row, chunk)`
+/// on each contiguous block of rows, in parallel when the ambient thread
+/// count and `min_rows` per chunk allow. `f` receives disjoint `&mut`
+/// row blocks, so per-row writes race with nothing and the result is
+/// identical at every thread count.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `row_len` (for
+/// `row_len > 0`).
+pub fn for_each_row_chunk<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    min_rows: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_len > 0, "for_each_row_chunk: zero row length");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "for_each_row_chunk: data not a whole number of rows"
+    );
+    let nrows = data.len() / row_len;
+    let chunks = num_chunks(nrows, min_rows);
+    if chunks <= 1 {
+        f(0, data);
+        return;
+    }
+    let ranges = partition(nrows, chunks);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut iter = ranges.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        for r in iter.rev() {
+            let (head, tail) = rest.split_at_mut(r.start * row_len);
+            rest = head;
+            let fr = &f;
+            s.spawn(move || serial_region(|| fr(r.start, tail)));
+        }
+        serial_region(|| f(first.start, rest));
+    });
+}
+
+/// `(0..n).map(f)` collected into a `Vec`, computed over contiguous
+/// chunks of at least `min_chunk` indices. Results are concatenated in
+/// index order — identical to the serial map at any thread count.
+pub fn map_indexed<T: Send>(n: usize, min_chunk: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    map_chunked(n, min_chunk, |range| range.map(&f).collect())
+}
+
+/// Fallible [`map_indexed`]: the first error in index order wins.
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing item's chunk.
+pub fn try_map_indexed<T: Send, E: Send>(
+    n: usize,
+    min_chunk: usize,
+    f: impl Fn(usize) -> Result<T, E> + Sync,
+) -> Result<Vec<T>, E> {
+    try_map_chunked(n, min_chunk, |range| range.map(&f).collect())
+}
+
+/// Chunk-granular parallel map: `f` maps each contiguous index range to
+/// the `Vec` of its per-item results (letting it reuse per-chunk scratch
+/// buffers); the chunk vectors are concatenated in order.
+///
+/// # Panics
+/// Panics (when `n > 0`) if `f` returns a vector whose length differs
+/// from its range.
+pub fn map_chunked<T: Send>(
+    n: usize,
+    min_chunk: usize,
+    f: impl Fn(Range<usize>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    enum Never {}
+    let out: Result<Vec<T>, Never> = try_map_chunked(n, min_chunk, |r| Ok(f(r)));
+    match out {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible [`map_chunked`]. When several chunks fail, the error of the
+/// earliest chunk (in index order) is returned, so the reported error
+/// does not depend on thread scheduling.
+///
+/// # Errors
+/// Propagates the earliest chunk's error.
+///
+/// # Panics
+/// Panics if a successful chunk returns a vector whose length differs
+/// from its range.
+pub fn try_map_chunked<T: Send, E: Send>(
+    n: usize,
+    min_chunk: usize,
+    f: impl Fn(Range<usize>) -> Result<Vec<T>, E> + Sync,
+) -> Result<Vec<T>, E> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let chunks = num_chunks(n, min_chunk);
+    if chunks <= 1 {
+        let v = f(0..n)?;
+        assert_eq!(v.len(), n, "map_chunked: chunk length mismatch");
+        return Ok(v);
+    }
+    let ranges = partition(n, chunks);
+    let results: Vec<Result<Vec<T>, E>> = std::thread::scope(|s| {
+        let fr = &f;
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        let mut iter = ranges.iter().cloned();
+        let first = iter.next().expect("at least one chunk");
+        for r in iter {
+            handles.push(s.spawn(move || serial_region(|| fr(r))));
+        }
+        let mut out = vec![serial_region(|| fr(first))];
+        for h in handles {
+            out.push(h.join().expect("par::map worker panicked"));
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(n);
+    for (chunk, r) in results.into_iter().zip(partition(n, chunks)) {
+        let v = chunk?;
+        assert_eq!(v.len(), r.len(), "map_chunked: chunk length mismatch");
+        out.extend(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+            with_threads(0, || assert_eq!(current_threads(), max_threads()));
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn overrides_unwind_on_panic() {
+        let before = current_threads();
+        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), before, "override leaked past a panic");
+        // A panic inside a parallel region must not leave the thread
+        // permanently marked in-parallel (which would force everything
+        // serial forever).
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                map_indexed(4, 1, |i| if i == 0 { panic!("chunk boom") } else { i })
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), before, "IN_PARALLEL leaked past a panic");
+    }
+
+    #[test]
+    fn with_threads_hint_inherits_on_zero() {
+        with_threads(3, || {
+            // 0 must leave the outer override alone (not clear it).
+            with_threads_hint(0, || assert_eq!(current_threads(), 3));
+            with_threads_hint(2, || assert_eq!(current_threads(), 2));
+        });
+    }
+
+    #[test]
+    fn nested_regions_are_serial() {
+        with_threads(4, || {
+            map_indexed(8, 1, |_| {
+                // Inside a worker (or the caller's own chunk) the ambient
+                // count collapses to 1.
+                assert_eq!(current_threads(), 1);
+            });
+        });
+    }
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        for n in [0usize, 1, 7, 64] {
+            for c in 1..6 {
+                let parts = partition(n, c);
+                assert_eq!(parts.len(), c);
+                let mut next = 0;
+                for p in &parts {
+                    assert_eq!(p.start, next);
+                    next = p.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_at_any_thread_count() {
+        let serial: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        for t in [1usize, 2, 3, 8] {
+            let par = with_threads(t, || map_indexed(1000, 16, |i| (i as u64) * (i as u64) + 1));
+            assert_eq!(par, serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_earliest_error() {
+        let r: Result<Vec<usize>, usize> = with_threads(4, || {
+            try_map_indexed(100, 1, |i| if i >= 40 { Err(i) } else { Ok(i) })
+        });
+        assert_eq!(r.unwrap_err(), 40);
+    }
+
+    #[test]
+    fn for_each_row_chunk_writes_every_row() {
+        for t in [1usize, 4] {
+            let mut data = vec![0usize; 30];
+            with_threads(t, || {
+                for_each_row_chunk(&mut data, 3, 1, |first_row, chunk| {
+                    for (r, row) in chunk.chunks_mut(3).enumerate() {
+                        for x in row.iter_mut() {
+                            *x = first_row + r;
+                        }
+                    }
+                });
+            });
+            let want: Vec<usize> = (0..10).flat_map(|r| [r, r, r]).collect();
+            assert_eq!(data, want, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for t in [1usize, 2] {
+            let (a, b) = with_threads(t, || join(|| 2 + 2, || "ok"));
+            assert_eq!((a, b), (4, "ok"));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = map_indexed(0, 8, |_| 0u8);
+        assert!(v.is_empty());
+        let mut empty: [f64; 0] = [];
+        for_each_row_chunk(&mut empty, 4, 1, |_, _| panic!("no rows"));
+    }
+}

@@ -1,7 +1,15 @@
 //! Compressed sparse row (CSR) matrices.
+//!
+//! The matvec/matmul kernels are row-partitioned across the ambient
+//! [`crate::par`] thread count once the matrix carries enough work
+//! ([`CsrMatrix::PAR_MIN_NNZ`] stored entries / [`CsrMatrix::PAR_MIN_WORK`]
+//! scalar multiplies); smaller problems always run serial. Each output row
+//! is computed by exactly the same per-row loop either way, so results are
+//! bit-identical at every thread count.
 
 use crate::dense::DenseMatrix;
 use crate::operator::LinearOperator;
+use crate::par;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -145,11 +153,24 @@ impl CsrMatrix {
         }
     }
 
-    /// The diagonal as a vector (length `min(nrows, ncols)`).
+    /// The diagonal as a vector (length `min(nrows, ncols)`): one linear
+    /// pass over the stored entries (rows are sorted by column, so the
+    /// scan of row `i` stops at the first column ≥ `i`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols))
-            .map(|i| self.get(i, i))
-            .collect()
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for i in 0..n {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[p];
+                if c >= i {
+                    if c == i {
+                        d[i] = self.values[p];
+                    }
+                    break;
+                }
+            }
+        }
+        d
     }
 
     /// `y = A x` into a fresh vector.
@@ -162,22 +183,46 @@ impl CsrMatrix {
         y
     }
 
-    /// `y ← A x` into a caller-provided buffer.
-    ///
-    /// # Panics
-    /// Panics on any length mismatch.
-    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
-        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for i in 0..self.nrows {
+    /// Stored entries below which [`CsrMatrix::matvec_into`] stays
+    /// serial: under this, fork-join overhead exceeds the row work.
+    pub const PAR_MIN_NNZ: usize = 100_000;
+    /// Scalar-multiply count below which [`CsrMatrix::matmul_dense`]
+    /// stays serial (`nnz × rhs columns`).
+    pub const PAR_MIN_WORK: usize = 100_000;
+
+    /// Rows `lo..hi` of `y ← A x` (the shared serial row kernel).
+    #[inline]
+    fn matvec_rows(&self, x: &[f64], y: &mut [f64], lo_row: usize) {
+        for (off, yi) in y.iter_mut().enumerate() {
+            let i = lo_row + off;
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             let mut s = 0.0;
             for p in lo..hi {
                 s += self.values[p] * x[self.col_idx[p]];
             }
-            y[i] = s;
+            *yi = s;
         }
+    }
+
+    /// `y ← A x` into a caller-provided buffer, row-partitioned across
+    /// the ambient thread count when the matrix holds at least
+    /// [`CsrMatrix::PAR_MIN_NNZ`] entries (bit-identical to the serial
+    /// kernel either way).
+    ///
+    /// # Panics
+    /// Panics on any length mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        if self.nnz() < Self::PAR_MIN_NNZ || par::current_threads() <= 1 {
+            self.matvec_rows(x, y, 0);
+            return;
+        }
+        let min_rows = (self.nrows / par::current_threads()).max(1024);
+        par::for_each_row_chunk(y, 1, min_rows, |first_row, chunk| {
+            self.matvec_rows(x, chunk, first_row);
+        });
     }
 
     /// `y = Aᵀ x`.
@@ -211,18 +256,31 @@ impl CsrMatrix {
         crate::vecops::dot(x, &ax)
     }
 
-    /// Apply to every column of a (row-major) dense matrix: `Y = A X`.
+    /// Apply to every column of a (row-major) dense matrix: `Y = A X`,
+    /// row-partitioned across the ambient thread count once
+    /// `nnz · X.ncols()` reaches [`CsrMatrix::PAR_MIN_WORK`] (the per-row
+    /// accumulation is unchanged, so results are bit-identical).
     pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
         assert_eq!(x.nrows(), self.ncols, "matmul_dense: shape mismatch");
-        let mut y = DenseMatrix::zeros(self.nrows, x.ncols());
-        for i in 0..self.nrows {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            for p in lo..hi {
-                let v = self.values[p];
-                let xr = x.row(self.col_idx[p]);
-                crate::vecops::axpy(v, xr, y.row_mut(i));
+        let ncols = x.ncols();
+        let mut y = DenseMatrix::zeros(self.nrows, ncols);
+        let work = self.nnz().saturating_mul(ncols);
+        let row_kernel = |first_row: usize, rows: &mut [f64]| {
+            for (r, yrow) in rows.chunks_mut(ncols).enumerate() {
+                let i = first_row + r;
+                for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    crate::vecops::axpy(self.values[p], x.row(self.col_idx[p]), yrow);
+                }
             }
+        };
+        if ncols == 0 {
+            return y;
+        }
+        if work < Self::PAR_MIN_WORK || par::current_threads() <= 1 {
+            row_kernel(0, y.as_mut_slice());
+        } else {
+            let min_rows = (self.nrows / par::current_threads()).max(128);
+            par::for_each_row_chunk(y.as_mut_slice(), ncols, min_rows, row_kernel);
         }
         y
     }
@@ -281,17 +339,50 @@ impl CsrMatrix {
         m
     }
 
-    /// Iterate over all stored entries as `(row, col, value)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.nrows).flat_map(move |i| {
-            let (cols, vals) = self.row(i);
-            cols.iter()
-                .zip(vals)
-                .map(move |(c, v)| (i, *c, *v))
-                .collect::<Vec<_>>()
-        })
+    /// Iterate over all stored entries as `(row, col, value)`, lazily —
+    /// the iterator walks `row_ptr` in place and allocates nothing.
+    pub fn iter(&self) -> CsrEntries<'_> {
+        CsrEntries {
+            mat: self,
+            row: 0,
+            pos: 0,
+        }
     }
 }
+
+/// Lazy `(row, col, value)` iterator over a [`CsrMatrix`]'s stored
+/// entries (created by [`CsrMatrix::iter`]).
+#[derive(Debug, Clone)]
+pub struct CsrEntries<'a> {
+    mat: &'a CsrMatrix,
+    /// Row containing `pos` (advanced past empty rows on demand).
+    row: usize,
+    /// Cursor into `col_idx` / `values`.
+    pos: usize,
+}
+
+impl Iterator for CsrEntries<'_> {
+    type Item = (usize, usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.mat.values.len() {
+            return None;
+        }
+        while self.pos >= self.mat.row_ptr[self.row + 1] {
+            self.row += 1;
+        }
+        let p = self.pos;
+        self.pos += 1;
+        (self.row, self.mat.col_idx[p], self.mat.values[p]).into()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.mat.values.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CsrEntries<'_> {}
 
 impl LinearOperator for CsrMatrix {
     fn dim(&self) -> usize {
@@ -410,5 +501,54 @@ mod tests {
         let entries: Vec<_> = a.iter().collect();
         assert_eq!(entries.len(), 7);
         assert!(entries.contains(&(1, 0, -1.0)));
+    }
+
+    #[test]
+    fn iter_skips_empty_rows_lazily() {
+        // Rows 0 and 2 empty, entries only in rows 1 and 3.
+        let a = CsrMatrix::from_triplets(4, 4, &[(1, 0, 1.0), (3, 2, 2.0), (3, 3, 3.0)]);
+        let mut it = a.iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.next(), Some((1, 0, 1.0)));
+        assert_eq!(it.next(), Some((3, 2, 2.0)));
+        assert_eq!(it.next(), Some((3, 3, 3.0)));
+        assert_eq!(it.next(), None);
+        assert!(CsrMatrix::zeros(5, 5).iter().next().is_none());
+    }
+
+    #[test]
+    fn diagonal_with_gaps_and_rectangles() {
+        // Missing diagonal entries read as 0; rectangular shapes clip.
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 5.0), (1, 1, 7.0), (2, 0, 1.0)]);
+        assert_eq!(a.diagonal(), vec![0.0, 7.0, 0.0]);
+        let r = CsrMatrix::from_triplets(2, 4, &[(0, 0, 1.0), (1, 1, 2.0), (1, 3, 9.0)]);
+        assert_eq!(r.diagonal(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_matvec_matches_serial_exactly() {
+        use crate::rng::Rng;
+        // Big enough to clear PAR_MIN_NNZ: a banded 40k×40k matrix.
+        let n = 40_000usize;
+        let band = 3usize;
+        let mut trip = Vec::new();
+        let mut rng = Rng::seed_from_u64(13);
+        for i in 0..n {
+            for j in i.saturating_sub(band)..(i + band + 1).min(n) {
+                trip.push((i, j, rng.standard_normal()));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trip);
+        assert!(a.nnz() >= CsrMatrix::PAR_MIN_NNZ);
+        let x = rng.normal_vec(n);
+        let serial = crate::par::with_threads(1, || a.matvec(&x));
+        for t in [2usize, 4] {
+            let par = crate::par::with_threads(t, || a.matvec(&x));
+            assert_eq!(par, serial, "threads = {t}");
+        }
+        let xm = DenseMatrix::from_fn(n, 3, |i, j| ((i + j) % 17) as f64 - 8.0);
+        let serial_m = crate::par::with_threads(1, || a.matmul_dense(&xm));
+        let par_m = crate::par::with_threads(4, || a.matmul_dense(&xm));
+        assert_eq!(par_m, serial_m);
     }
 }

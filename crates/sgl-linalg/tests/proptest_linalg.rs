@@ -183,4 +183,70 @@ proptest! {
             prop_assert_eq!(u, b.uniform());
         }
     }
+
+    #[test]
+    fn par_map_matches_serial_for_any_shape(
+        n in 0usize..500,
+        min_chunk in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        // The chunked parallel map must equal the serial map exactly for
+        // every (size, chunking, thread-count) combination.
+        let serial: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(i) ^ 0x5a).collect();
+        let par = sgl_linalg::par::with_threads(threads, || {
+            sgl_linalg::par::map_indexed(n, min_chunk, |i| {
+                (i as u64).wrapping_mul(i as u64) ^ 0x5a
+            })
+        });
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn par_row_partition_writes_each_row_once(
+        nrows in 0usize..200,
+        row_len in 1usize..8,
+        min_rows in 1usize..32,
+        threads in 1usize..9,
+    ) {
+        let mut data = vec![0u32; nrows * row_len];
+        sgl_linalg::par::with_threads(threads, || {
+            sgl_linalg::par::for_each_row_chunk(&mut data, row_len, min_rows, |first, chunk| {
+                for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                    for x in row.iter_mut() {
+                        *x += (first + r) as u32 + 1;
+                    }
+                }
+            });
+        });
+        for (i, &x) in data.iter().enumerate() {
+            prop_assert_eq!(x, (i / row_len) as u32 + 1, "row visited != once");
+        }
+    }
+
+    #[test]
+    fn parallel_matvec_equals_serial(
+        n in 2usize..40,
+        seed in 0u64..10_000,
+        threads in 2usize..6,
+    ) {
+        // Below the size cutoff the kernel is the same serial loop, but
+        // the contract — identical output at every thread count — must
+        // hold for any matrix, so drive it through with_threads anyway.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut trip = Vec::new();
+        for i in 0..n {
+            for _ in 0..3 {
+                trip.push((i, rng.below(n), rng.standard_normal()));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trip);
+        let x: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let serial = sgl_linalg::par::with_threads(1, || a.matvec(&x));
+        let par = sgl_linalg::par::with_threads(threads, || a.matvec(&x));
+        prop_assert_eq!(par, serial);
+        let xm = random_matrix(n, 3, seed ^ 9);
+        let sm = sgl_linalg::par::with_threads(1, || a.matmul_dense(&xm));
+        let pm = sgl_linalg::par::with_threads(threads, || a.matmul_dense(&xm));
+        prop_assert_eq!(pm, sm);
+    }
 }

@@ -13,11 +13,11 @@
 //! Both traits are object-safe: sessions store `Box<dyn SolverBackend>`
 //! and share `Arc<dyn SolverHandle>` across stages.
 
-use crate::laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions};
+use crate::laplacian_solver::{LaplacianSolver, SolveScratch, SolverMethod, SolverOptions};
 use sgl_graph::laplacian::laplacian_csr;
 use sgl_graph::traversal::is_connected;
 use sgl_graph::Graph;
-use sgl_linalg::{vecops, CholeskyFactor, LinalgError};
+use sgl_linalg::{par, vecops, CholeskyFactor, LinalgError};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -32,6 +32,20 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Relative residual of the most recent solve; 0 for direct backends.
     pub last_relative_residual: f64,
+}
+
+impl SolveStats {
+    /// Fold a later snapshot into this one: counters add, and the later
+    /// snapshot's residual becomes the "most recent" one if it recorded
+    /// any solve at all.
+    pub fn absorb(&mut self, later: &SolveStats) {
+        self.solves += later.solves;
+        self.batches += later.batches;
+        self.iterations += later.iterations;
+        if later.solves > 0 {
+            self.last_relative_residual = later.last_relative_residual;
+        }
+    }
 }
 
 /// Interior-mutable stat counters (solves take `&self`).
@@ -126,12 +140,17 @@ pub trait SolverBackend: std::fmt::Debug + Send + Sync {
 pub struct IterativeBackend {
     /// Facade options (method selection, tolerance, iteration cap).
     pub opts: SolverOptions,
+    /// Worker threads for `solve_batch` fan-out (0 = ambient, 1 = serial).
+    pub parallelism: usize,
 }
 
 impl IterativeBackend {
-    /// Backend with explicit facade options.
+    /// Backend with explicit facade options (ambient parallelism).
     pub fn new(opts: SolverOptions) -> Self {
-        IterativeBackend { opts }
+        IterativeBackend {
+            opts,
+            parallelism: 0,
+        }
     }
 }
 
@@ -144,6 +163,7 @@ impl SolverBackend for IterativeBackend {
         let solver = LaplacianSolver::new(graph, self.opts.clone())?;
         Ok(Arc::new(IterativeHandle {
             solver,
+            parallelism: self.parallelism,
             stats: StatCell::default(),
         }))
     }
@@ -151,6 +171,7 @@ impl SolverBackend for IterativeBackend {
 
 struct IterativeHandle {
     solver: LaplacianSolver,
+    parallelism: usize,
     stats: StatCell,
 }
 
@@ -178,9 +199,29 @@ impl SolverHandle for IterativeHandle {
 
     fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
         self.stats.record_batch();
-        let mut out = Vec::with_capacity(rhs.len());
-        for b in rhs {
-            let (x, st) = self.solver.solve_with_stats(b)?;
+        let n = self.solver.num_nodes();
+        // Fan out across right-hand sides; every solve is independent and
+        // runs the identical serial kernel over a per-worker scratch, so
+        // results match the serial path exactly. Nested parallelism (the
+        // sparse kernels inside each solve) collapses to serial inside
+        // the region — one level of fan-out, no oversubscription.
+        let solved: Vec<(Vec<f64>, crate::SolverStats)> =
+            par::with_threads_hint(self.parallelism, || {
+                par::try_map_chunked(rhs.len(), 1, |range| {
+                    let mut scratch = SolveScratch::new();
+                    range
+                        .map(|i| {
+                            let mut x = vec![0.0; n];
+                            let st = self.solver.solve_into(&rhs[i], &mut x, &mut scratch)?;
+                            Ok((x, st))
+                        })
+                        .collect()
+                })
+            })?;
+        // Stats are recorded after the join, in RHS order, so counters
+        // and the "last" residual do not depend on thread scheduling.
+        let mut out = Vec::with_capacity(solved.len());
+        for (x, st) in solved {
             self.stats.record(1, st.iterations, st.relative_residual);
             out.push(x);
         }
@@ -206,18 +247,26 @@ impl SolverHandle for IterativeHandle {
 pub struct DenseCholeskyBackend {
     /// Refuse graphs larger than this (0 disables the guard).
     pub max_nodes: usize,
+    /// Worker threads for `solve_batch` fan-out (0 = ambient, 1 = serial).
+    pub parallelism: usize,
 }
 
 impl Default for DenseCholeskyBackend {
     fn default() -> Self {
-        DenseCholeskyBackend { max_nodes: 4096 }
+        DenseCholeskyBackend {
+            max_nodes: 4096,
+            parallelism: 0,
+        }
     }
 }
 
 impl DenseCholeskyBackend {
     /// Backend with an explicit node-count guard (0 = unlimited).
     pub fn with_limit(max_nodes: usize) -> Self {
-        DenseCholeskyBackend { max_nodes }
+        DenseCholeskyBackend {
+            max_nodes,
+            parallelism: 0,
+        }
     }
 }
 
@@ -258,6 +307,7 @@ impl SolverBackend for DenseCholeskyBackend {
         Ok(Arc::new(DenseCholeskyHandle {
             chol,
             num_nodes: n,
+            parallelism: self.parallelism,
             stats: StatCell::default(),
         }))
     }
@@ -266,6 +316,7 @@ impl SolverBackend for DenseCholeskyBackend {
 struct DenseCholeskyHandle {
     chol: CholeskyFactor,
     num_nodes: usize,
+    parallelism: usize,
     stats: StatCell,
 }
 
@@ -303,10 +354,11 @@ impl SolverHandle for DenseCholeskyHandle {
 
     fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
         self.stats.record_batch();
-        let mut out = Vec::with_capacity(rhs.len());
-        for b in rhs {
-            out.push(self.solve_one(b)?);
-        }
+        // Independent triangular sweeps per RHS: fan out like the
+        // iterative handle (results are per-RHS exact either way).
+        let out = par::with_threads_hint(self.parallelism, || {
+            par::try_map_indexed(rhs.len(), 1, |i| self.solve_one(&rhs[i]))
+        })?;
         self.stats.record(rhs.len(), 0, 0.0);
         Ok(out)
     }
@@ -387,6 +439,13 @@ pub struct SolverPolicy {
     pub reuse: ReuseMode,
     /// Node-count guard for [`PolicyMethod::DenseCholesky`] (0 = off).
     pub dense_max_nodes: usize,
+    /// Worker threads for `solve_batch` fan-out across right-hand sides.
+    /// `0` (the default) inherits the ambient
+    /// [`sgl_linalg::par`] thread count — all
+    /// available cores unless a scope or environment override says
+    /// otherwise; `1` pins the guaranteed-serial path (bit-identical
+    /// results either way).
+    pub parallelism: usize,
 }
 
 impl Default for SolverPolicy {
@@ -397,6 +456,7 @@ impl Default for SolverPolicy {
             max_iter: 10_000,
             reuse: ReuseMode::PerRevision,
             dense_max_nodes: 4096,
+            parallelism: 0,
         }
     }
 }
@@ -425,13 +485,19 @@ impl SolverPolicy {
     /// Instantiate the backend this policy describes.
     pub fn backend(&self) -> Box<dyn SolverBackend> {
         match self.method.solver_method() {
-            Some(method) => Box::new(IterativeBackend::new(SolverOptions {
-                method,
-                rtol: self.rtol,
-                max_iter: self.max_iter,
-                ..SolverOptions::default()
-            })),
-            None => Box::new(DenseCholeskyBackend::with_limit(self.dense_max_nodes)),
+            Some(method) => Box::new(IterativeBackend {
+                opts: SolverOptions {
+                    method,
+                    rtol: self.rtol,
+                    max_iter: self.max_iter,
+                    ..SolverOptions::default()
+                },
+                parallelism: self.parallelism,
+            }),
+            None => Box::new(DenseCholeskyBackend {
+                max_nodes: self.dense_max_nodes,
+                parallelism: self.parallelism,
+            }),
         }
     }
 
@@ -471,6 +537,14 @@ impl SolverPolicy {
     #[must_use]
     pub fn with_reuse(mut self, reuse: ReuseMode) -> Self {
         self.reuse = reuse;
+        self
+    }
+
+    /// Builder-style setter for the batch-solve worker count
+    /// (0 = ambient/all cores, 1 = serial).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -530,6 +604,41 @@ mod tests {
                     "{} batch mismatch",
                     backend.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        use sgl_linalg::par;
+        let g = grid2d(9, 9);
+        let rhs: Vec<Vec<f64>> = (0..6).map(|i| mean_zero_rhs(81, 30 + i)).collect();
+        for method in [PolicyMethod::Auto, PolicyMethod::DenseCholesky] {
+            let serial = SolverPolicy::default()
+                .with_method(method)
+                .with_parallelism(1)
+                .build_handle(&g)
+                .unwrap()
+                .solve_batch(&rhs)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let h = SolverPolicy::default()
+                    .with_method(method)
+                    .with_parallelism(threads)
+                    .build_handle(&g)
+                    .unwrap();
+                let par_xs = h.solve_batch(&rhs).unwrap();
+                assert_eq!(par_xs, serial, "{method:?} at {threads} threads");
+                // The ambient (policy 0) path under an explicit scope
+                // override agrees too, and stats stay deterministic.
+                let amb = SolverPolicy::default()
+                    .with_method(method)
+                    .build_handle(&g)
+                    .unwrap();
+                let amb_xs = par::with_threads(threads, || amb.solve_batch(&rhs).unwrap());
+                assert_eq!(amb_xs, serial);
+                assert_eq!(amb.stats().solves, rhs.len());
+                assert_eq!(amb.stats().batches, 1);
             }
         }
     }

@@ -12,7 +12,7 @@
 //! without invalidating, every request also checks a cheap fingerprint
 //! of the graph's edge list — a stale handle is never silently served.
 
-use crate::backend::{ReuseMode, SolverBackend, SolverHandle, SolverPolicy};
+use crate::backend::{ReuseMode, SolveStats, SolverBackend, SolverHandle, SolverPolicy};
 use sgl_graph::Graph;
 use sgl_linalg::LinalgError;
 use std::sync::Arc;
@@ -26,6 +26,9 @@ pub struct SolverContext {
     fingerprint: u64,
     stale: bool,
     builds: usize,
+    /// Stats accumulated from handles of *previous* revisions (retired
+    /// on rebuild), so the context can report lifetime totals.
+    retired_stats: SolveStats,
 }
 
 /// Cheap structural fingerprint (FNV-1a over the edge list): detects
@@ -72,6 +75,7 @@ impl SolverContext {
             fingerprint: 0,
             stale: false,
             builds: 0,
+            retired_stats: SolveStats::default(),
         }
     }
 
@@ -104,7 +108,11 @@ impl SolverContext {
             || fingerprint != self.fingerprint
             || self.policy.reuse == ReuseMode::PerCall;
         if rebuild {
-            self.handle = None; // drop the stale handle even if build fails
+            if let Some(old) = self.handle.take() {
+                // Retire the previous revision's counters so lifetime
+                // totals survive the rebuild (drop it even if build fails).
+                self.retired_stats.absorb(&old.stats());
+            }
             let handle = self.backend.build(graph)?;
             self.builds += 1;
             self.stale = false;
@@ -124,6 +132,16 @@ impl SolverContext {
     /// never built one).
     pub fn handles_built(&self) -> usize {
         self.builds
+    }
+
+    /// Lifetime solve statistics: every retired revision's counters plus
+    /// the current handle's (zeros if no handle was ever built).
+    pub fn cumulative_stats(&self) -> SolveStats {
+        let mut total = self.retired_stats;
+        if let Some(h) = &self.handle {
+            total.absorb(&h.stats());
+        }
+        total
     }
 }
 
@@ -146,6 +164,25 @@ mod tests {
         let c = ctx.handle_for(&g).unwrap();
         assert!(!Arc::ptr_eq(&a, &c), "invalidate must rebuild");
         assert_eq!(ctx.handles_built(), 2);
+    }
+
+    #[test]
+    fn cumulative_stats_survive_rebuilds() {
+        let g = grid2d(5, 5);
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        assert_eq!(ctx.cumulative_stats(), Default::default());
+        let b = {
+            let mut v = vec![0.0; 25];
+            v[0] = 1.0;
+            v[24] = -1.0;
+            v
+        };
+        ctx.handle_for(&g).unwrap().solve(&b).unwrap();
+        ctx.invalidate();
+        ctx.handle_for(&g).unwrap().solve(&b).unwrap();
+        let total = ctx.cumulative_stats();
+        assert_eq!(total.solves, 2, "retired handle's solves must be kept");
+        assert!(total.last_relative_residual >= 0.0);
     }
 
     #[test]

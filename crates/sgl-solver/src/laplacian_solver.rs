@@ -7,8 +7,8 @@ use sgl_graph::laplacian::LaplacianOp;
 
 use sgl_graph::traversal::is_connected;
 use sgl_graph::Graph;
-use sgl_linalg::cg::{pcg_solve, CgOptions};
-use sgl_linalg::{vecops, JacobiPreconditioner, LinalgError, Preconditioner, ProjectedOperator};
+use sgl_linalg::cg::{pcg_solve_with, CgOptions, CgWorkspace};
+use sgl_linalg::{vecops, JacobiPreconditioner, LinalgError, Preconditioner};
 
 /// Which solver backend to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +60,20 @@ pub struct SolverStats {
     pub iterations: usize,
     /// Final relative residual.
     pub relative_residual: f64,
+}
+
+/// Reusable scratch buffers for [`LaplacianSolver::solve_into`]: one per
+/// worker keeps a whole batch of solves allocation-free after the first.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    cg: CgWorkspace,
+}
+
+impl SolveScratch {
+    /// An empty scratch (buffers are sized on first use).
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
 }
 
 enum Backend {
@@ -182,6 +196,27 @@ impl LaplacianSolver {
     /// # Errors
     /// See [`LaplacianSolver::solve`].
     pub fn solve_with_stats(&self, b: &[f64]) -> Result<(Vec<f64>, SolverStats), LinalgError> {
+        let mut x = vec![0.0; self.num_nodes];
+        let stats = self.solve_into(b, &mut x, &mut SolveScratch::new())?;
+        Ok((x, stats))
+    }
+
+    /// Solve `L x = b` into a caller-provided buffer, drawing all scratch
+    /// vectors from a reusable [`SolveScratch`]. This is the hot entry
+    /// point of the batched solvers: one scratch per worker makes every
+    /// solve after the first allocation-free.
+    ///
+    /// # Errors
+    /// See [`LaplacianSolver::solve`].
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the node count.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut SolveScratch,
+    ) -> Result<SolverStats, LinalgError> {
         if b.len() != self.num_nodes {
             return Err(LinalgError::DimensionMismatch {
                 context: "laplacian solve rhs",
@@ -189,45 +224,52 @@ impl LaplacianSolver {
                 actual: b.len(),
             });
         }
+        assert_eq!(x.len(), self.num_nodes, "solve_into: x length mismatch");
         match &self.backend {
             Backend::TreeDirect(ts) => {
-                let x = ts.solve(b);
-                Ok((
-                    x,
-                    SolverStats {
-                        iterations: 0,
-                        relative_residual: 0.0,
-                    },
-                ))
+                ts.solve_into(b, x);
+                Ok(SolverStats {
+                    iterations: 0,
+                    relative_residual: 0.0,
+                })
             }
             Backend::Pcg { precond } => {
                 let cg_opts = CgOptions {
                     rtol: self.opts.rtol,
                     max_iter: self.opts.max_iter,
                     project_mean: true,
+                    // The buffered P·A·P sandwich — same arithmetic as
+                    // the old ProjectedOperator wrapper, but through the
+                    // workspace instead of a per-iteration clone.
+                    project_apply_input: true,
                     ..CgOptions::default()
                 };
-                let projected = ProjectedOperator::new(&self.op);
-                let sol = pcg_solve(&projected, &precond.as_ref(), b, &cg_opts)?;
-                let mut x = sol.x;
-                vecops::project_out_mean(&mut x);
-                Ok((
-                    x,
-                    SolverStats {
-                        iterations: sol.iterations,
-                        relative_residual: sol.relative_residual,
-                    },
-                ))
+                let st =
+                    pcg_solve_with(&self.op, &precond.as_ref(), b, &cg_opts, &mut scratch.cg, x)?;
+                vecops::project_out_mean(x);
+                Ok(SolverStats {
+                    iterations: st.iterations,
+                    relative_residual: st.relative_residual,
+                })
             }
         }
     }
 
-    /// Solve for many right-hand sides (columns of `b` as slices).
+    /// Solve for many right-hand sides (columns of `b` as slices),
+    /// sequentially through one shared scratch. (The parallel fan-out
+    /// lives in `sgl-solver`'s batched backend handles.)
     ///
     /// # Errors
     /// See [`LaplacianSolver::solve`].
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
-        rhs.iter().map(|b| self.solve(b)).collect()
+        let mut scratch = SolveScratch::new();
+        rhs.iter()
+            .map(|b| {
+                let mut x = vec![0.0; self.num_nodes];
+                self.solve_into(b, &mut x, &mut scratch)?;
+                Ok(x)
+            })
+            .collect()
     }
 }
 

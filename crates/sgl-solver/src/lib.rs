@@ -77,6 +77,8 @@ pub use backend::{
 };
 pub use context::SolverContext;
 pub use ichol::IncompleteCholesky;
-pub use laplacian_solver::{LaplacianSolver, SolverMethod, SolverOptions, SolverStats};
+pub use laplacian_solver::{
+    LaplacianSolver, SolveScratch, SolverMethod, SolverOptions, SolverStats,
+};
 pub use preconditioner::{GaussSeidelPreconditioner, TreePreconditioner};
 pub use tree_solver::TreeSolver;

@@ -62,35 +62,42 @@ impl TreeSolver {
     /// # Panics
     /// Panics if `b.len()` differs from the node count.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.num_nodes();
-        assert_eq!(b.len(), n, "tree solve: rhs length mismatch");
-        let mut flow = b.to_vec();
-        vecops::project_out_mean(&mut flow);
-        // Upward sweep: accumulate subtree injection sums into the parent.
-        for &u in self.tree.order.iter().rev() {
-            let p = self.tree.parent[u];
-            if p != u {
-                let fu = flow[u];
-                flow[p] += fu;
-            }
-        }
-        // `flow[u]` now holds the current through (u, parent(u)).
-        // Downward sweep: integrate potentials from the root.
-        let mut x = vec![0.0; n];
-        for &u in &self.tree.order {
-            let p = self.tree.parent[u];
-            if p != u {
-                x[u] = x[p] + flow[u] / self.tree.parent_weight[u];
-            }
-        }
-        vecops::project_out_mean(&mut x);
+        let mut x = vec![0.0; self.num_nodes()];
+        self.solve_into(b, &mut x);
         x
     }
 
-    /// Apply the solve into a caller-provided buffer (preconditioner path).
+    /// Apply the solve into a caller-provided buffer, allocation-free
+    /// (the preconditioner path applies this once per PCG iteration).
+    /// Both sweeps run in place: the upward pass turns `out` into edge
+    /// currents, and the downward pass overwrites each node's current
+    /// with its potential exactly when it is last read (parents precede
+    /// children in elimination order).
     pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
-        let x = self.solve(b);
-        out.copy_from_slice(&x);
+        let n = self.num_nodes();
+        assert_eq!(b.len(), n, "tree solve: rhs length mismatch");
+        assert_eq!(out.len(), n, "tree solve: output length mismatch");
+        out.copy_from_slice(b);
+        vecops::project_out_mean(out);
+        // Upward sweep: accumulate subtree injection sums into the parent;
+        // `out[u]` becomes the current through (u, parent(u)).
+        for &u in self.tree.order.iter().rev() {
+            let p = self.tree.parent[u];
+            if p != u {
+                let fu = out[u];
+                out[p] += fu;
+            }
+        }
+        // Downward sweep: integrate potentials from the root.
+        for &u in &self.tree.order {
+            let p = self.tree.parent[u];
+            if p != u {
+                out[u] = out[p] + out[u] / self.tree.parent_weight[u];
+            } else {
+                out[u] = 0.0;
+            }
+        }
+        vecops::project_out_mean(out);
     }
 }
 

@@ -139,4 +139,35 @@ proptest! {
             prop_assert!((xs[i] - x1[i] - x2[i]).abs() < 1e-6);
         }
     }
+
+    #[test]
+    fn parallel_solve_batch_matches_serial(
+        n in 6usize..30,
+        nrhs in 1usize..7,
+        seed in 0u64..10_000,
+        threads in 2usize..6,
+    ) {
+        // Per-RHS fan-out must agree with the serial path to (well
+        // beyond) solver tolerance on any connected graph. The design
+        // guarantees bit-identical results; assert a strict 1e-12.
+        use sgl_solver::SolverPolicy;
+        let g = random_connected(n, 4, seed);
+        let rhs: Vec<Vec<f64>> = (0..nrhs).map(|i| mean_zero(n, seed ^ (100 + i as u64))).collect();
+        let serial = SolverPolicy::default()
+            .with_parallelism(1)
+            .build_handle(&g)
+            .unwrap()
+            .solve_batch(&rhs)
+            .unwrap();
+        let par = SolverPolicy::default()
+            .with_parallelism(threads)
+            .build_handle(&g)
+            .unwrap()
+            .solve_batch(&rhs)
+            .unwrap();
+        for (a, b) in par.iter().zip(&serial) {
+            let d = vecops::sub(a, b);
+            prop_assert!(vecops::norm2(&d) <= 1e-12, "batch diverges: {}", vecops::norm2(&d));
+        }
+    }
 }

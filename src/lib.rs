@@ -58,6 +58,17 @@
 //! and `examples/solver_policy.rs` for the config-driven solve layer
 //! ([`SolverPolicy`](sgl_solver::SolverPolicy): method selection, shared
 //! per-revision handles, and the solver-free resistance mode).
+//!
+//! # Parallelism
+//!
+//! Every parallel stage — kNN table builds, batched Laplacian solves,
+//! candidate scoring, the row-partitioned sparse kernels — runs through
+//! the deterministic fork-join layer [`sgl_linalg::par`], governed by
+//! one knob: `SglConfig::builder().parallelism(n)` (`0` = all cores,
+//! `1` = guaranteed serial). Thread count changes wall-clock, never
+//! results: the same config and seed learn a bit-identical graph at any
+//! setting. See the README's *Parallel execution* section and
+//! `bench_learn` for the tracked end-to-end numbers.
 
 pub use sgl_baseline;
 pub use sgl_core;

@@ -1,0 +1,99 @@
+//! Cross-crate contract of the parallel execution layer: parallelism
+//! changes wall-clock, never results. The full learning loop, the
+//! batched solve layer, and the kNN build must produce identical output
+//! at every thread count — and two runs with the same config and seed
+//! must agree exactly regardless of how many workers either used.
+
+use sgl::prelude::*;
+use sgl_core::resistance::{sample_node_pairs, ResistanceEstimator, SpectralSketch};
+use sgl_graph::Graph;
+use sgl_knn::{build_knn_graph, KnnGraphConfig};
+use sgl_linalg::{par, vecops, DenseMatrix, Rng};
+
+fn learn_with_threads(parallelism: usize, seed: u64) -> LearnResult {
+    let truth = sgl_datasets::grid2d(9, 9);
+    let meas = Measurements::generate(&truth, 20, seed).unwrap();
+    let cfg = SglConfig::builder()
+        .tol(1e-6)
+        .max_iterations(80)
+        .parallelism(parallelism)
+        .build()
+        .unwrap();
+    Sgl::new(cfg).learn(&meas).unwrap()
+}
+
+fn assert_graphs_identical(a: &Graph, b: &Graph, what: &str) {
+    assert_eq!(a.num_edges(), b.num_edges(), "{what}: edge count");
+    for (ea, eb) in a.edges().iter().zip(b.edges()) {
+        assert_eq!((ea.u, ea.v), (eb.u, eb.v), "{what}: topology");
+        assert_eq!(
+            ea.weight, eb.weight,
+            "{what}: weights must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn learned_graph_is_identical_at_any_thread_count() {
+    let serial = learn_with_threads(1, 5);
+    for threads in [2usize, 4, 0] {
+        let par_run = learn_with_threads(threads, 5);
+        assert_graphs_identical(
+            &serial.graph,
+            &par_run.graph,
+            &format!("parallelism={threads}"),
+        );
+        assert_eq!(serial.trace, par_run.trace, "parallelism={threads}: trace");
+        assert_eq!(serial.scale_factor, par_run.scale_factor);
+    }
+}
+
+#[test]
+fn two_runs_same_seed_agree_across_thread_counts() {
+    // The determinism contract as a user sees it: same config + seed ⇒
+    // same learned graph, no matter which machine/thread-count ran it.
+    let a = learn_with_threads(3, 11);
+    let b = learn_with_threads(2, 11);
+    assert_graphs_identical(&a.graph, &b.graph, "3 vs 2 workers");
+}
+
+#[test]
+fn knn_graph_identical_at_any_thread_count() {
+    let mut rng = Rng::seed_from_u64(3);
+    let x = DenseMatrix::from_fn(150, 6, |_, _| rng.standard_normal());
+    let cfg = KnnGraphConfig::default();
+    let serial = par::with_threads(1, || build_knn_graph(&x, &cfg));
+    for threads in [2usize, 5] {
+        let g = par::with_threads(threads, || build_knn_graph(&x, &cfg));
+        assert_graphs_identical(&serial, &g, &format!("knn at {threads} threads"));
+    }
+}
+
+#[test]
+fn batched_solves_identical_under_ambient_scope() {
+    let g = sgl_datasets::grid2d(8, 8);
+    let mut rng = Rng::seed_from_u64(9);
+    let rhs: Vec<Vec<f64>> = (0..5)
+        .map(|_| {
+            let mut b = rng.normal_vec(64);
+            vecops::project_out_mean(&mut b);
+            b
+        })
+        .collect();
+    let handle = SolverPolicy::default().build_handle(&g).unwrap();
+    let serial = par::with_threads(1, || handle.solve_batch(&rhs).unwrap());
+    for threads in [2usize, 4] {
+        let par_xs = par::with_threads(threads, || handle.solve_batch(&rhs).unwrap());
+        assert_eq!(par_xs, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn pairwise_resistances_identical_at_any_thread_count() {
+    let g = sgl_datasets::grid2d(7, 7);
+    let sketch = SpectralSketch::build(&g, 0, 2).unwrap();
+    let pairs = sample_node_pairs(49, 200, 4);
+    let serial = par::with_threads(1, || sketch.resistances(&pairs).unwrap());
+    let par_rs = par::with_threads(4, || sketch.resistances(&pairs).unwrap());
+    assert_eq!(par_rs, serial);
+}
