@@ -15,13 +15,21 @@
 //! contract: the graph learned at N threads must be identical (same
 //! edges, bit-identical weights) to the 1-thread run.
 //!
+//! A final **multilevel** section compares `learn_multilevel` against
+//! flat `Sgl::learn` on a convergence-driven grid run (≥ 50k nodes at
+//! full size): hierarchy shape, wall-clock, total PCG iterations
+//! (`SolverContext::cumulative_stats`), and the first-k eigenvalue
+//! agreement — and asserts the learned hierarchy is bit-identical
+//! across thread counts.
+//!
 //! Usage: `bench_learn [--threads N] [--m 30] [--iters 6] [--quick]`
 
-use sgl_bench::{banner, fix, repro_dir, time, Args, Table};
-use sgl_core::{LearnResult, Measurements, SglConfig, SglSession};
+use sgl_bench::{banner, fix, repro_dir, sci, time, Args, Table};
+use sgl_core::{compare_spectra, LearnResult, Measurements, SglConfig, SglSession, SpectrumMethod};
 use sgl_datasets::delaunay::{delaunay, Point};
 use sgl_graph::Graph;
 use sgl_linalg::{par, DenseMatrix, Rng};
+use sgl_multilevel::{learn_multilevel, HierarchyOptions, MultilevelOptions, MultilevelResult};
 use sgl_solver::SolveStats;
 use std::io::Write;
 
@@ -101,6 +109,108 @@ fn assert_identical(name: &str, a: &Run, b: &Run) {
             (eb.u, eb.v, eb.weight),
             "{name}: learned graphs diverge across thread counts"
         );
+    }
+}
+
+/// Flat-vs-multilevel comparison on a convergence-driven grid run.
+struct MultilevelBench {
+    nodes: usize,
+    level_sizes: Vec<usize>,
+    coarsening_ratio: f64,
+    flat_wall: f64,
+    multi_wall: f64,
+    flat_stats: SolveStats,
+    multi_stats: SolveStats,
+    flat_edges: usize,
+    multi_edges: usize,
+    eig_rel_err: f64,
+    eig_corr: f64,
+}
+
+/// Panic unless two multilevel runs learned bit-identical hierarchies
+/// and graphs.
+fn assert_multilevel_identical(a: &MultilevelResult, b: &MultilevelResult) {
+    assert_eq!(
+        a.level_sizes, b.level_sizes,
+        "multilevel: hierarchies diverge across thread counts"
+    );
+    assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    for (ea, eb) in a.graph.edges().iter().zip(b.graph.edges()) {
+        assert_eq!(
+            (ea.u, ea.v, ea.weight),
+            (eb.u, eb.v, eb.weight),
+            "multilevel: learned graphs diverge across thread counts"
+        );
+    }
+}
+
+fn run_multilevel_bench(quick: bool, threads: usize, m: usize) -> MultilevelBench {
+    let side = if quick { 40 } else { 224 }; // full: 50,176 nodes ≥ 50k
+    let coarsest = if quick { 64 } else { 1024 };
+    let truth = sgl_datasets::grid2d(side, side);
+    let nodes = truth.num_nodes();
+    println!("\nmultilevel scenario: {side}x{side} grid ({nodes} nodes), M = {m}");
+    let meas = Measurements::generate(&truth, m, 23).expect("multilevel measurements");
+    // Convergence-driven (unlike the fixed-budget rows above) so the
+    // eigenvalue agreement between the two pipelines is meaningful.
+    let cfg = SglConfig::default()
+        .with_tol(1e-6)
+        .with_max_iterations(200)
+        .with_parallelism(threads);
+    let opts = MultilevelOptions {
+        hierarchy: HierarchyOptions {
+            coarsest_size: coarsest,
+            ..HierarchyOptions::default()
+        },
+        ..MultilevelOptions::default()
+    };
+
+    let (flat, flat_wall) = time(|| {
+        SglSession::new(cfg.clone(), &meas)
+            .expect("flat session")
+            .run()
+            .expect("flat learn")
+    });
+    println!(
+        "flat:       {:.2}s, {} edges, {} PCG iterations",
+        flat_wall,
+        flat.graph.num_edges(),
+        flat.solver_stats.iterations
+    );
+    let (multi, multi_wall) =
+        time(|| learn_multilevel(&cfg, &meas, &opts).expect("multilevel learn"));
+    println!(
+        "multilevel: {:.2}s, {} edges, {} PCG iterations, levels {:?}",
+        multi_wall,
+        multi.graph.num_edges(),
+        multi.solver_stats.iterations,
+        multi.level_sizes
+    );
+    // Determinism across thread counts: a guaranteed-serial rerun must
+    // reproduce the hierarchy and the graph bit for bit.
+    let serial = learn_multilevel(&cfg.clone().with_parallelism(1), &meas, &opts)
+        .expect("serial multilevel learn");
+    assert_multilevel_identical(&multi, &serial);
+    println!("multilevel hierarchy identical at 1 and {threads} threads ✓");
+
+    let cmp = compare_spectra(&flat.graph, &multi.graph, 6, SpectrumMethod::ShiftInvert)
+        .expect("spectrum comparison");
+    println!(
+        "first-6 eigenvalues vs flat: mean relative error {:.4}, correlation {:.4}",
+        cmp.mean_relative_error, cmp.correlation
+    );
+    MultilevelBench {
+        nodes,
+        level_sizes: multi.level_sizes.clone(),
+        coarsening_ratio: cfg.coarsening_ratio,
+        flat_wall,
+        multi_wall,
+        flat_stats: flat.solver_stats,
+        multi_stats: multi.solver_stats,
+        flat_edges: flat.graph.num_edges(),
+        multi_edges: multi.graph.num_edges(),
+        eig_rel_err: cmp.mean_relative_error,
+        eig_corr: cmp.correlation,
     }
 }
 
@@ -198,6 +308,8 @@ fn main() {
     }
     table.print();
 
+    let ml = run_multilevel_bench(quick, threads, m);
+
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"learn\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
@@ -227,7 +339,33 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let levels: Vec<String> = ml.level_sizes.iter().map(|s| s.to_string()).collect();
+    json.push_str(&format!(
+        "  \"multilevel\": {{\"scenario\": \"grid\", \"nodes\": {}, \
+         \"levels\": {}, \"level_sizes\": [{}], \"coarsening_ratio\": {}, \
+         \"wall_s_flat\": {:.9}, \"wall_s_multilevel\": {:.9}, \
+         \"pcg_iterations_flat\": {}, \"pcg_iterations_multilevel\": {}, \
+         \"solves_flat\": {}, \"solves_multilevel\": {}, \
+         \"edges_flat\": {}, \"edges_multilevel\": {}, \
+         \"eig_rel_err_vs_flat\": {}, \"eig_corr_vs_flat\": {:.6}, \
+         \"bit_identical_across_threads\": true}}\n",
+        ml.nodes,
+        ml.level_sizes.len(),
+        levels.join(", "),
+        ml.coarsening_ratio,
+        ml.flat_wall,
+        ml.multi_wall,
+        ml.flat_stats.iterations,
+        ml.multi_stats.iterations,
+        ml.flat_stats.solves,
+        ml.multi_stats.solves,
+        ml.flat_edges,
+        ml.multi_edges,
+        sci(ml.eig_rel_err),
+        ml.eig_corr,
+    ));
+    json.push_str("}\n");
     let path = repro_dir().join("BENCH_learn.json");
     let mut f = std::fs::File::create(&path).expect("create BENCH_learn.json");
     f.write_all(json.as_bytes())

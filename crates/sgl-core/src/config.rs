@@ -121,6 +121,17 @@ pub struct SglConfig {
     /// setting — parallelism only changes wall-clock, never the learned
     /// graph.
     pub parallelism: usize,
+    /// Target shrink factor per multilevel coarsening level, in
+    /// `(0, 1)`: aggregation at each level keeps matching until the
+    /// coarse node count drops to at most `coarsening_ratio · N` (or
+    /// stalls). Consumed by `sgl-multilevel`'s hierarchy builder; the
+    /// flat `Sgl::learn` pipeline ignores it.
+    pub coarsening_ratio: f64,
+    /// Cap on the number of coarsening levels of the multilevel
+    /// hierarchy (1 = no coarsening: the whole loop runs at the fine
+    /// level). Consumed by `sgl-multilevel`; ignored by the flat
+    /// pipeline.
+    pub max_levels: usize,
 }
 
 impl Default for SglConfig {
@@ -140,6 +151,8 @@ impl Default for SglConfig {
             solver: SolverPolicy::default(),
             resistance: ResistanceMethod::default(),
             parallelism: 0,
+            coarsening_ratio: 0.6,
+            max_levels: 10,
         }
     }
 }
@@ -199,6 +212,17 @@ impl SglConfig {
         if self.eig_max_iter == 0 {
             return Err(SglError::InvalidConfig(
                 "eig_max_iter must be at least 1".into(),
+            ));
+        }
+        if !(self.coarsening_ratio > 0.0 && self.coarsening_ratio < 1.0) {
+            return Err(SglError::InvalidConfig(format!(
+                "coarsening_ratio must lie in (0, 1), got {}",
+                self.coarsening_ratio
+            )));
+        }
+        if self.max_levels == 0 {
+            return Err(SglError::InvalidConfig(
+                "max_levels must be at least 1".into(),
             ));
         }
         self.solver
@@ -274,6 +298,18 @@ impl SglConfig {
     /// (0 = all cores, 1 = serial).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style setter for the multilevel coarsening ratio.
+    pub fn with_coarsening_ratio(mut self, ratio: f64) -> Self {
+        self.coarsening_ratio = ratio;
+        self
+    }
+
+    /// Builder-style setter for the multilevel level cap.
+    pub fn with_max_levels(mut self, max_levels: usize) -> Self {
+        self.max_levels = max_levels;
         self
     }
 }
@@ -404,6 +440,19 @@ impl SglConfigBuilder {
     /// cores, 1 = guaranteed serial; results are identical either way).
     pub fn parallelism(mut self, parallelism: usize) -> Self {
         self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// Target shrink factor per multilevel coarsening level, in
+    /// `(0, 1)` (consumed by `sgl-multilevel`'s hierarchy builder).
+    pub fn coarsening_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.coarsening_ratio = ratio;
+        self
+    }
+
+    /// Cap on the number of multilevel hierarchy levels (1 = flat).
+    pub fn max_levels(mut self, max_levels: usize) -> Self {
+        self.cfg.max_levels = max_levels;
         self
     }
 
@@ -564,6 +613,35 @@ mod tests {
         let c = SglConfig::builder().parallelism(1).build().unwrap();
         assert_eq!(c.parallelism, 1);
         assert_eq!(SglConfig::default().with_parallelism(4).parallelism, 4);
+    }
+
+    #[test]
+    fn multilevel_knobs_thread_through_builder() {
+        let d = SglConfig::default();
+        assert_eq!(d.coarsening_ratio, 0.6);
+        assert_eq!(d.max_levels, 10);
+        let c = SglConfig::builder()
+            .coarsening_ratio(0.4)
+            .max_levels(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.coarsening_ratio, 0.4);
+        assert_eq!(c.max_levels, 3);
+        assert_eq!(
+            SglConfig::default()
+                .with_coarsening_ratio(0.5)
+                .coarsening_ratio,
+            0.5
+        );
+        assert_eq!(SglConfig::default().with_max_levels(2).max_levels, 2);
+        // Violations are caught at build() time.
+        assert!(SglConfig::builder().coarsening_ratio(0.0).build().is_err());
+        assert!(SglConfig::builder().coarsening_ratio(1.0).build().is_err());
+        assert!(SglConfig::builder()
+            .coarsening_ratio(f64::NAN)
+            .build()
+            .is_err());
+        assert!(SglConfig::builder().max_levels(0).build().is_err());
     }
 
     #[test]

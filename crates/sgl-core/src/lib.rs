@@ -86,7 +86,7 @@ pub use measure::Measurements;
 pub use metrics::{compare_spectra, SpectrumComparison};
 pub use objective::{objective, ObjectiveOptions, ObjectiveValue};
 pub use reduction::{learn_reduced, ReducedResult};
-pub use refine::{refine_weights, RefineOptions, RefineRecord};
+pub use refine::{refine_weights, refine_weights_with, RefineOptions, RefineRecord};
 pub use resistance::{
     build_resistance_estimator, effective_resistance, pairwise_effective_resistances,
     sample_node_pairs, ExactSolve, JlSketch, ResistanceEstimator, ResistanceMethod,

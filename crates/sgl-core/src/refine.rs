@@ -26,6 +26,7 @@ use crate::error::SglError;
 use crate::measure::Measurements;
 use crate::resistance::ResistanceSketch;
 use sgl_graph::Graph;
+use sgl_solver::{SolverContext, SolverPolicy};
 
 /// Options for [`refine_weights`].
 #[derive(Debug, Clone)]
@@ -66,7 +67,9 @@ pub struct RefineRecord {
 }
 
 /// Refine the weights of `graph` in place toward the `η = 1` fixed point;
-/// returns the per-round distortion trace.
+/// returns the per-round distortion trace. Solver handles come from a
+/// fresh default-policy context; use [`refine_weights_with`] to share a
+/// caller-owned [`SolverContext`] (and its cumulative statistics).
 ///
 /// Run [`crate::scaling::spectral_edge_scaling`] afterwards to restore
 /// the global calibration (refinement preserves ratios, not scale).
@@ -78,6 +81,24 @@ pub fn refine_weights(
     graph: &mut Graph,
     measurements: &Measurements,
     opts: &RefineOptions,
+) -> Result<Vec<RefineRecord>, SglError> {
+    let mut ctx = SolverContext::new(SolverPolicy::default());
+    refine_weights_with(graph, measurements, opts, &mut ctx)
+}
+
+/// [`refine_weights`] drawing every round's JL-sketch solver handle from
+/// a shared [`SolverContext`] — the multilevel path, where one context
+/// tracks the lifetime solve statistics of a whole V-cycle. The context
+/// is invalidated after each round's weight update (the graph changed),
+/// so a later round — or the caller — never sees a stale handle.
+///
+/// # Errors
+/// See [`refine_weights`].
+pub fn refine_weights_with(
+    graph: &mut Graph,
+    measurements: &Measurements,
+    opts: &RefineOptions,
+    ctx: &mut SolverContext,
 ) -> Result<Vec<RefineRecord>, SglError> {
     if graph.num_nodes() != measurements.num_nodes() {
         return Err(SglError::InvalidMeasurements(format!(
@@ -118,7 +139,13 @@ pub fn refine_weights(
 
     let mut trace = Vec::with_capacity(opts.rounds);
     for round in 1..=opts.rounds {
-        let sketch = ResistanceSketch::build(graph, q, opts.seed.wrapping_add(round as u64))?;
+        let handle = ctx.handle_for(graph)?;
+        let sketch = ResistanceSketch::build_with(
+            handle.as_ref(),
+            graph,
+            q,
+            opts.seed.wrapping_add(round as u64),
+        )?;
         let num_edges = graph.num_edges();
         // Per-edge scoring is independent (the sketch is read-only), so
         // it fans out across the ambient thread count; the weight writes
@@ -143,6 +170,8 @@ pub fn refine_weights(
             let w = graph.edge(i).weight;
             graph.set_weight(i, w * factor);
         }
+        // Weights just changed: the context's cached handle is stale.
+        ctx.invalidate();
         trace.push(RefineRecord {
             round,
             max_log_distortion: max_log,
@@ -215,6 +244,30 @@ mod tests {
             ..RefineOptions::default()
         };
         assert!(refine_weights(&mut g, &meas, &bad_clamp).is_err());
+    }
+
+    #[test]
+    fn shared_context_matches_standalone_and_tracks_stats() {
+        let (_, meas, result) = learn(7, 20, 5);
+        let opts = RefineOptions {
+            rounds: 2,
+            ..RefineOptions::default()
+        };
+        let mut standalone = result.graph.clone();
+        refine_weights(&mut standalone, &meas, &opts).unwrap();
+
+        let mut shared = result.graph.clone();
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        refine_weights_with(&mut shared, &meas, &opts, &mut ctx).unwrap();
+
+        for (a, b) in standalone.edges().iter().zip(shared.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.weight, b.weight, "context path must be bit-identical");
+        }
+        // One handle per round (the weight update invalidates), and the
+        // context saw every sketch solve.
+        assert_eq!(ctx.handles_built(), 2);
+        assert!(ctx.cumulative_stats().solves > 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::embedding::Embedding;
 use crate::measure::Measurements;
 use sgl_graph::mst::SpanningTree;
-use sgl_graph::Graph;
+use sgl_graph::{AdjacencyCsr, Graph};
 
 /// A candidate off-tree edge with its cached measurement distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,17 +67,22 @@ impl CandidatePool {
     /// Collect every edge of `candidate_graph` that is not already an
     /// edge of `learned`, with data distances cached from (possibly
     /// extended) `measurements`. Used when a session resumes after a new
-    /// measurement batch: the kNN graph is rebuilt over the richer data
-    /// and previously learned edges must not re-enter the pool.
+    /// measurement batch (the kNN graph is rebuilt over the richer data
+    /// and previously learned edges must not re-enter the pool) and by
+    /// the multilevel densification sweeps. The membership test scans
+    /// the learned graph's adjacency ([`AdjacencyCsr::edge_between`],
+    /// `O(deg)` over contiguous memory, no hashing) — on ultra-sparse
+    /// learned graphs that beats a hash probe per candidate edge.
     pub fn from_graph_excluding(
         candidate_graph: &Graph,
         learned: &Graph,
         measurements: &Measurements,
     ) -> Self {
+        let learned_adj = AdjacencyCsr::build(learned);
         let candidates = candidate_graph
             .edges()
             .iter()
-            .filter(|e| !learned.has_edge(e.u, e.v))
+            .filter(|e| learned_adj.edge_between(e.u, e.v).is_none())
             .map(|e| Candidate {
                 u: e.u,
                 v: e.v,

@@ -1,0 +1,230 @@
+//! Partition-based graph coarsening utilities: prolongation operators,
+//! the Galerkin triple product `Pᵀ L P`, and partition contraction.
+//!
+//! A *partition* maps each fine node to a coarse aggregate id
+//! (`0..num_coarse`, every id populated). With the piecewise-constant
+//! prolongation `P` (`P[u, a] = 1` iff `partition[u] == a`), the Galerkin
+//! coarse operator `Pᵀ L P` of a graph Laplacian is itself the Laplacian
+//! of the *contracted* graph — which is why the multilevel machinery can
+//! move between the matrix view ([`galerkin_triple_product`]) and the
+//! graph view ([`contract_partition`]) freely. Both are provided, plus
+//! the conversion [`laplacian_to_graph`] closing the loop.
+
+use crate::Graph;
+use sgl_linalg::CsrMatrix;
+
+/// Validate a partition: every entry below `num_coarse` and every
+/// aggregate id in `0..num_coarse` populated by at least one node.
+///
+/// # Panics
+/// Panics on an empty partition, an out-of-range label, or an empty
+/// aggregate — all three are construction bugs, not runtime conditions.
+pub fn validate_partition(partition: &[usize], num_coarse: usize) {
+    assert!(!partition.is_empty(), "partition: no fine nodes");
+    assert!(num_coarse > 0, "partition: no aggregates");
+    let mut seen = vec![false; num_coarse];
+    for (u, &a) in partition.iter().enumerate() {
+        assert!(
+            a < num_coarse,
+            "partition: node {u} has label {a} >= {num_coarse}"
+        );
+        seen[a] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "partition: some aggregate has no members"
+    );
+}
+
+/// The piecewise-constant prolongation matrix `P` (`N × num_coarse`,
+/// one unit entry per row).
+///
+/// # Panics
+/// See [`validate_partition`].
+pub fn prolongation_matrix(partition: &[usize], num_coarse: usize) -> CsrMatrix {
+    validate_partition(partition, num_coarse);
+    let trip: Vec<(usize, usize, f64)> = partition
+        .iter()
+        .enumerate()
+        .map(|(u, &a)| (u, a, 1.0))
+        .collect();
+    CsrMatrix::from_triplets(partition.len(), num_coarse, &trip)
+}
+
+/// Galerkin triple product `Pᵀ L P` for the piecewise-constant
+/// prolongation of `partition`, computed in one pass over the stored
+/// entries of `l` (entry `(i, j, v)` lands on coarse entry
+/// `(partition[i], partition[j])`).
+///
+/// For a graph Laplacian `L` this is exactly the Laplacian of the
+/// contracted graph; see [`contract_partition`] for the graph-level
+/// equivalent and the tests for the dense cross-check.
+///
+/// # Panics
+/// Panics if `l` is not square with `partition.len()` rows, or on an
+/// invalid partition (see [`validate_partition`]).
+pub fn galerkin_triple_product(l: &CsrMatrix, partition: &[usize], num_coarse: usize) -> CsrMatrix {
+    assert_eq!(
+        l.nrows(),
+        l.ncols(),
+        "triple product: matrix must be square"
+    );
+    assert_eq!(
+        l.nrows(),
+        partition.len(),
+        "triple product: partition length mismatch"
+    );
+    validate_partition(partition, num_coarse);
+    let trip: Vec<(usize, usize, f64)> = l
+        .iter()
+        .map(|(i, j, v)| (partition[i], partition[j], v))
+        .collect();
+    CsrMatrix::from_triplets(num_coarse, num_coarse, &trip)
+}
+
+/// Contract a graph along a partition: intra-aggregate edges vanish,
+/// parallel inter-aggregate edges merge by conductance summation (the
+/// graph-level Galerkin operator).
+///
+/// # Panics
+/// Panics if `partition.len()` differs from the node count or on an
+/// invalid partition (see [`validate_partition`]).
+pub fn contract_partition(g: &Graph, partition: &[usize], num_coarse: usize) -> Graph {
+    assert_eq!(
+        g.num_nodes(),
+        partition.len(),
+        "contract: partition length mismatch"
+    );
+    validate_partition(partition, num_coarse);
+    let mut coarse = Graph::new(num_coarse);
+    for e in g.edges() {
+        let (a, b) = (partition[e.u], partition[e.v]);
+        if a != b {
+            coarse.add_edge(a, b, e.weight);
+        }
+    }
+    coarse
+}
+
+/// Interpret a symmetric Laplacian-like matrix as a graph: each strictly
+/// negative off-diagonal `-w` (upper triangle) becomes an edge of weight
+/// `w`; the diagonal and non-negative off-diagonals are ignored.
+pub fn laplacian_to_graph(l: &CsrMatrix) -> Graph {
+    assert_eq!(l.nrows(), l.ncols(), "laplacian_to_graph: must be square");
+    let mut g = Graph::new(l.nrows());
+    for (i, j, v) in l.iter() {
+        if i < j && v < 0.0 {
+            g.add_edge(i, j, -v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_csr;
+    use sgl_linalg::DenseMatrix;
+
+    fn sample_graph() -> Graph {
+        Graph::from_edges(
+            6,
+            [
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 4, 0.5),
+                (4, 5, 1.5),
+                (0, 5, 4.0),
+                (1, 4, 2.5),
+            ],
+        )
+    }
+
+    /// Dense reference: Pᵀ (L P).
+    fn dense_triple(l: &CsrMatrix, p: &CsrMatrix) -> DenseMatrix {
+        let ld = l.to_dense();
+        let pd = p.to_dense();
+        pd.transpose().matmul(&ld.matmul(&pd))
+    }
+
+    #[test]
+    fn triple_product_matches_dense_reference() {
+        let g = sample_graph();
+        let part = vec![0, 0, 1, 1, 2, 2];
+        let l = laplacian_csr(&g);
+        let p = prolongation_matrix(&part, 3);
+        let coarse = galerkin_triple_product(&l, &part, 3);
+        let reference = dense_triple(&l, &p);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (coarse.get(i, j) - reference.get(i, j)).abs() < 1e-14,
+                    "({i}, {j}): {} vs {}",
+                    coarse.get(i, j),
+                    reference.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triple_product_is_contracted_laplacian() {
+        let g = sample_graph();
+        let part = vec![0, 0, 1, 1, 2, 2];
+        let coarse_l = galerkin_triple_product(&laplacian_csr(&g), &part, 3);
+        let coarse_g = contract_partition(&g, &part, 3);
+        let direct = laplacian_csr(&coarse_g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (coarse_l.get(i, j) - direct.get(i, j)).abs() < 1e-14,
+                    "({i}, {j})"
+                );
+            }
+        }
+        // And the round-trip through laplacian_to_graph agrees edge-wise.
+        let roundtrip = laplacian_to_graph(&coarse_l);
+        assert_eq!(roundtrip.num_edges(), coarse_g.num_edges());
+        for e in coarse_g.edges() {
+            let i = roundtrip.find_edge(e.u, e.v).unwrap();
+            assert!((roundtrip.edge(i).weight - e.weight).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn contraction_merges_parallel_edges() {
+        // Nodes 0,1 -> aggregate 0; 2,3 -> aggregate 1. Edges (0,2) and
+        // (1,3) both cross, so the coarse edge sums their conductances.
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0), (0, 2, 2.0), (1, 3, 3.0)]);
+        let coarse = contract_partition(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(coarse.num_edges(), 1);
+        assert_eq!(coarse.edge(0).weight, 5.0);
+    }
+
+    #[test]
+    fn prolongation_rows_are_unit_indicators() {
+        let part = vec![1, 0, 1];
+        let p = prolongation_matrix(&part, 2);
+        assert_eq!(p.nrows(), 3);
+        assert_eq!(p.ncols(), 2);
+        assert_eq!(p.nnz(), 3);
+        for (u, &a) in part.iter().enumerate() {
+            assert_eq!(p.get(u, a), 1.0);
+        }
+        // P 1_c = 1_f: prolongation of the constant is the constant.
+        assert_eq!(p.matvec(&[1.0, 1.0]), vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no members")]
+    fn empty_aggregate_panics() {
+        validate_partition(&[0, 0, 2], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        validate_partition(&[0, 5], 2);
+    }
+}

@@ -75,6 +75,24 @@ impl AdjacencyCsr {
         let hi = self.offsets[u + 1];
         (lo..hi).map(move |p| (self.neighbors[p], self.weights[p], self.edge_ids[p]))
     }
+
+    /// Index of the edge `(u, v)` in the parent graph, if present —
+    /// an `O(min(deg u, deg v))` adjacency scan, no hashing. The fast
+    /// membership test for hot per-edge bookkeeping loops that already
+    /// hold the CSR.
+    pub fn edge_between(&self, u: usize, v: usize) -> Option<usize> {
+        if u >= self.num_nodes() || v >= self.num_nodes() || u == v {
+            return None;
+        }
+        let (scan, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(scan)
+            .find(|&(w, _, _)| w == other)
+            .map(|(_, _, e)| e)
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +124,20 @@ mod tests {
         let adj = AdjacencyCsr::build(&g);
         assert_eq!(adj.degree(1), 0);
         assert_eq!(adj.neighbors(1).count(), 0);
+    }
+
+    #[test]
+    fn edge_between_matches_graph_lookup() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (3, 4, 1.0)]);
+        let adj = AdjacencyCsr::build(&g);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(adj.edge_between(u, v), g.find_edge(u, v), "({u}, {v})");
+            }
+        }
+        // Orientation-free, and out-of-range queries are None, not panics.
+        assert_eq!(adj.edge_between(4, 3), adj.edge_between(3, 4));
+        assert_eq!(adj.edge_between(0, 9), None);
+        assert_eq!(adj.edge_between(2, 2), None);
     }
 }

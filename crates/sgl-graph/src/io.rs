@@ -218,17 +218,59 @@ pub fn read_matrix_market_file(path: &Path, kind: MatrixKind) -> Result<Graph, I
 }
 
 /// Write a graph as a symmetric Matrix Market adjacency file (lower
-/// triangle, 1-based).
+/// triangle, 1-based). Shorthand for
+/// [`write_matrix_market_kind`] with [`MatrixKind::Adjacency`].
 ///
 /// # Errors
 /// Propagates write failures.
-pub fn write_matrix_market<W: Write>(mut w: W, g: &Graph) -> Result<(), IoError> {
+pub fn write_matrix_market<W: Write>(w: W, g: &Graph) -> Result<(), IoError> {
+    write_matrix_market_kind(w, g, MatrixKind::Adjacency)
+}
+
+/// Write a graph as a symmetric Matrix Market coordinate file (lower
+/// triangle, 1-based) under either interpretation
+/// [`read_matrix_market`] accepts:
+///
+/// * [`MatrixKind::Adjacency`] — one entry per edge, value = weight;
+/// * [`MatrixKind::Laplacian`] — the full lower triangle of `L = D − W`:
+///   weighted degrees on the diagonal, `−w` off the diagonal.
+///
+/// Either output reads back to the same graph through the matching
+/// `kind` (weights reproduced exactly — values are written with full
+/// `f64` precision).
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_matrix_market_kind<W: Write>(
+    mut w: W,
+    g: &Graph,
+    kind: MatrixKind,
+) -> Result<(), IoError> {
     writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
     writeln!(w, "% generated by sgl-graph")?;
-    writeln!(w, "{} {} {}", g.num_nodes(), g.num_nodes(), g.num_edges())?;
-    for e in g.edges() {
-        // lower triangle: row > column, 1-based
-        writeln!(w, "{} {} {:.17e}", e.v + 1, e.u + 1, e.weight)?;
+    match kind {
+        MatrixKind::Adjacency => {
+            writeln!(w, "{} {} {}", g.num_nodes(), g.num_nodes(), g.num_edges())?;
+            for e in g.edges() {
+                // lower triangle: row > column, 1-based
+                writeln!(w, "{} {} {:.17e}", e.v + 1, e.u + 1, e.weight)?;
+            }
+        }
+        MatrixKind::Laplacian => {
+            writeln!(
+                w,
+                "{} {} {}",
+                g.num_nodes(),
+                g.num_nodes(),
+                g.num_nodes() + g.num_edges()
+            )?;
+            for (i, d) in g.weighted_degrees().iter().enumerate() {
+                writeln!(w, "{} {} {:.17e}", i + 1, i + 1, d)?;
+            }
+            for e in g.edges() {
+                writeln!(w, "{} {} {:.17e}", e.v + 1, e.u + 1, -e.weight)?;
+            }
+        }
     }
     Ok(())
 }

@@ -7,6 +7,8 @@
 //! * [`Graph`] and [`Edge`] — canonical edge-list storage with validation,
 //! * [`AdjacencyCsr`] — neighbor iteration,
 //! * [`laplacian`] — CSR and matrix-free Laplacian operators,
+//! * [`coarsen`] — partition utilities and the Galerkin `Pᵀ L P` triple
+//!   product behind the multilevel hierarchy,
 //! * [`mst`] — Kruskal maximum spanning trees (Step 1 of Algorithm 1),
 //! * [`traversal`] — BFS, connectivity, components,
 //! * [`tree`] — rooted spanning-tree structure for `O(N)` tree solves,
@@ -27,6 +29,7 @@
 //! assert_eq!(tree.edge_indices.len(), 3); // spanning tree of 4 nodes
 //! ```
 
+pub mod coarsen;
 pub mod csr;
 pub mod io;
 pub mod laplacian;

@@ -1,0 +1,204 @@
+//! Low-pass filtered (smoothed) test vectors.
+//!
+//! Spectral coarsening needs cheap per-node signatures that expose the
+//! *smooth* (low-frequency) end of an operator's spectrum: two nodes that
+//! look alike under every smooth eigenvector belong to the same
+//! aggregate. The classic construction (Livne–Brandt lean AMG, reused by
+//! GRASPEL/SF-SGL-style graph coarsening) is a handful of seeded random
+//! vectors pushed through a few weighted-Jacobi relaxation sweeps of
+//! `A x = 0`: each sweep damps the high-frequency components by the
+//! smoothing factor of the operator, so after `sweeps` passes the columns
+//! span (approximately) the low end of the spectrum without any
+//! eigensolve.
+//!
+//! Everything here is deterministic given the seed, and the only operator
+//! access is [`LinearOperator::apply`] — so the output is bit-identical
+//! at any ambient thread count whenever the operator's `apply` honors the
+//! workspace determinism contract (all of this workspace's operators do).
+
+use crate::dense::DenseMatrix;
+use crate::operator::LinearOperator;
+use crate::rng::Rng;
+use crate::vecops;
+
+/// Options for [`smoothed_test_vectors`].
+#[derive(Debug, Clone)]
+pub struct FilterOptions {
+    /// Number of test vectors (columns). A handful (4–16) suffices for
+    /// affinity-based aggregation.
+    pub count: usize,
+    /// Weighted-Jacobi sweeps; each sweep damps the high frequencies
+    /// further (3–10 is typical).
+    pub sweeps: usize,
+    /// Damping factor `ω` of the Jacobi sweep (`2/3` is the classical
+    /// choice for Laplacian-like operators).
+    pub omega: f64,
+    /// Seed for the initial random vectors.
+    pub seed: u64,
+}
+
+impl Default for FilterOptions {
+    fn default() -> Self {
+        FilterOptions {
+            count: 8,
+            sweeps: 6,
+            omega: 2.0 / 3.0,
+            seed: 0xF117,
+        }
+    }
+}
+
+/// Generate `opts.count` low-pass filtered test vectors for a symmetric
+/// operator `A` with (positive) diagonal `diag`, returned as an
+/// `n × count` matrix whose **row `u` is node `u`'s smooth signature**.
+///
+/// Each column starts as a seeded standard-normal vector, is projected
+/// against the constant vector (the Laplacian null space), and is relaxed
+/// `opts.sweeps` times with damped Jacobi
+/// `x ← x − ω D⁻¹ A x`, re-projecting and re-normalizing after every
+/// sweep so the columns neither collapse into the null space nor decay to
+/// zero.
+///
+/// # Panics
+/// Panics if `diag.len() != a.dim()`, if `count == 0`, if a diagonal
+/// entry is not positive and finite, or if `omega` is not in `(0, 1]`.
+pub fn smoothed_test_vectors(
+    a: &impl LinearOperator,
+    diag: &[f64],
+    opts: &FilterOptions,
+) -> DenseMatrix {
+    let n = a.dim();
+    assert_eq!(diag.len(), n, "filter: diagonal length mismatch");
+    assert!(opts.count > 0, "filter: need at least one test vector");
+    assert!(
+        opts.omega > 0.0 && opts.omega <= 1.0,
+        "filter: omega must lie in (0, 1], got {}",
+        opts.omega
+    );
+    let inv_diag: Vec<f64> = diag
+        .iter()
+        .map(|&d| {
+            assert!(
+                d > 0.0 && d.is_finite(),
+                "filter: diagonal entries must be positive and finite, got {d}"
+            );
+            1.0 / d
+        })
+        .collect();
+
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let mut out = DenseMatrix::zeros(n, opts.count);
+    let mut ax = vec![0.0; n];
+    for j in 0..opts.count {
+        let mut x = rng.normal_vec(n);
+        vecops::project_out_mean(&mut x);
+        vecops::normalize(&mut x);
+        for _ in 0..opts.sweeps {
+            a.apply(&x, &mut ax);
+            for i in 0..n {
+                x[i] -= opts.omega * inv_diag[i] * ax[i];
+            }
+            vecops::project_out_mean(&mut x);
+            if vecops::normalize(&mut x) == 0.0 {
+                // Degenerate (e.g. a 1-node operator): fall back to the
+                // unit basis so downstream affinity math stays finite.
+                x[0] = 1.0;
+            }
+        }
+        out.set_column(j, &x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    /// Path-graph Laplacian as a CSR operator.
+    fn path_laplacian(n: usize) -> (CsrMatrix, Vec<f64>) {
+        let mut trip = Vec::new();
+        for i in 0..n - 1 {
+            trip.push((i, i, 1.0));
+            trip.push((i + 1, i + 1, 1.0));
+            trip.push((i, i + 1, -1.0));
+            trip.push((i + 1, i, -1.0));
+        }
+        let l = CsrMatrix::from_triplets(n, n, &trip);
+        let d = l.diagonal();
+        (l, d)
+    }
+
+    #[test]
+    fn vectors_are_deterministic_and_normalized() {
+        let (l, d) = path_laplacian(40);
+        let a = smoothed_test_vectors(&l, &d, &FilterOptions::default());
+        let b = smoothed_test_vectors(&l, &d, &FilterOptions::default());
+        assert_eq!(a.as_slice(), b.as_slice());
+        for j in 0..8 {
+            let col = a.column(j);
+            assert!((vecops::norm2(&col) - 1.0).abs() < 1e-12);
+            assert!(vecops::mean(&col).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_rayleigh_quotient() {
+        // Filtered vectors must be much smoother than raw noise: the
+        // Rayleigh quotient x^T L x after sweeps is a fraction of the
+        // unsmoothed one.
+        let (l, d) = path_laplacian(100);
+        let raw = smoothed_test_vectors(
+            &l,
+            &d,
+            &FilterOptions {
+                sweeps: 0,
+                ..FilterOptions::default()
+            },
+        );
+        let smooth = smoothed_test_vectors(&l, &d, &FilterOptions::default());
+        let rq = |m: &DenseMatrix, j: usize| {
+            let x = m.column(j);
+            l.quadratic_form(&x)
+        };
+        let raw_mean: f64 = (0..8).map(|j| rq(&raw, j)).sum::<f64>() / 8.0;
+        let smooth_mean: f64 = (0..8).map(|j| rq(&smooth, j)).sum::<f64>() / 8.0;
+        assert!(
+            smooth_mean < 0.25 * raw_mean,
+            "smoothing too weak: {smooth_mean} vs {raw_mean}"
+        );
+    }
+
+    #[test]
+    fn neighbors_have_similar_signatures() {
+        // On a path, adjacent nodes end up with near-parallel rows while
+        // far-apart nodes do not.
+        let (l, d) = path_laplacian(60);
+        let f = smoothed_test_vectors(&l, &d, &FilterOptions::default());
+        let cos = |u: usize, v: usize| {
+            let (a, b) = (f.row(u), f.row(v));
+            vecops::dot(a, b) / (vecops::norm2(a) * vecops::norm2(b))
+        };
+        assert!(cos(30, 31).abs() > 0.9, "neighbors: {}", cos(30, 31));
+        assert!(
+            cos(0, 59).abs() < cos(30, 31).abs(),
+            "ends vs neighbors: {} vs {}",
+            cos(0, 59),
+            cos(30, 31)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "omega")]
+    fn bad_omega_panics() {
+        let (l, d) = path_laplacian(5);
+        smoothed_test_vectors(
+            &l,
+            &d,
+            &FilterOptions {
+                omega: 1.5,
+                ..FilterOptions::default()
+            },
+        );
+    }
+}

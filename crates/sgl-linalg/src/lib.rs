@@ -39,6 +39,7 @@ pub mod cg;
 pub mod cholesky;
 pub mod dense;
 pub mod error;
+pub mod filter;
 pub mod lanczos;
 pub mod lobpcg;
 pub mod operator;
@@ -56,6 +57,7 @@ pub use cg::{
 pub use cholesky::CholeskyFactor;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
+pub use filter::{smoothed_test_vectors, FilterOptions};
 pub use lanczos::{
     lanczos, lanczos_largest, lanczos_smallest, lanczos_with, LanczosOptions, LanczosWorkspace,
     SpectralPairs,

@@ -7,7 +7,7 @@
 //! that is grown geometrically on pivot breakdown, the standard
 //! "shifted IC" recovery.
 
-use sgl_linalg::{vecops, CsrMatrix, Preconditioner};
+use sgl_linalg::{vecops, CsrMatrix, LinalgError, Preconditioner};
 
 /// IC(0) factors of `A + αI` applied as a preconditioner.
 #[derive(Debug, Clone)]
@@ -27,26 +27,40 @@ impl IncompleteCholesky {
     /// diagonal magnitude (`1e-8` is a good default for Laplacians); it
     /// grows ×10 on breakdown, up to a small number of retries.
     ///
-    /// # Panics
-    /// Panics if the matrix is not square or is empty, or if the
-    /// factorization keeps breaking down after all retries (practically
-    /// unreachable for Laplacian-like input).
-    pub fn new(a: &CsrMatrix, base_shift: f64) -> Self {
-        assert_eq!(a.nrows(), a.ncols(), "ichol: square matrix required");
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] for a non-square or empty
+    /// matrix, and [`LinalgError::NotPositiveDefinite`] (with the pivot
+    /// row of the last breakdown) if the factorization keeps breaking
+    /// down after every shift retry — indefinite or badly non-symmetric
+    /// input, not a Laplacian. Library code never panics on bad input.
+    pub fn new(a: &CsrMatrix, base_shift: f64) -> Result<Self, LinalgError> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::InvalidInput(format!(
+                "ichol: square matrix required, got {}×{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
         let n = a.nrows();
-        assert!(n > 0, "ichol: empty matrix");
+        if n == 0 {
+            return Err(LinalgError::InvalidInput("ichol: empty matrix".into()));
+        }
         let mean_diag = a.diagonal().iter().map(|d| d.abs()).sum::<f64>() / n as f64;
         let mut shift = base_shift.max(1e-300) * mean_diag.max(1.0);
+        let mut last_pivot = 0;
         for _ in 0..20 {
-            if let Some(fac) = Self::try_factor(a, shift) {
-                return fac;
+            match Self::try_factor(a, shift) {
+                Ok(fac) => return Ok(fac),
+                Err(pivot) => last_pivot = pivot,
             }
             shift *= 10.0;
         }
-        panic!("ichol: factorization failed even with large diagonal shift");
+        Err(LinalgError::NotPositiveDefinite { pivot: last_pivot })
     }
 
-    fn try_factor(a: &CsrMatrix, shift: f64) -> Option<Self> {
+    /// One factorization attempt; `Err` carries the row whose pivot
+    /// broke down.
+    fn try_factor(a: &CsrMatrix, shift: f64) -> Result<Self, usize> {
         let n = a.nrows();
         // Work on the lower-triangular pattern row by row.
         let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
@@ -90,7 +104,7 @@ impl IncompleteCholesky {
                 s -= v * v;
             }
             if s <= 0.0 || !s.is_finite() {
-                return None;
+                return Err(i);
             }
             diag[i] = s.sqrt();
             // Store row scaled so L has unit "structure": keep l_ij as-is;
@@ -103,7 +117,7 @@ impl IncompleteCholesky {
                 trips.push((i, j, v));
             }
         }
-        Some(IncompleteCholesky {
+        Ok(IncompleteCholesky {
             lower: CsrMatrix::from_triplets(n, n, &trips),
             diag,
             shift,
@@ -174,7 +188,7 @@ mod tests {
     fn exact_for_tridiagonal_spd() {
         // IC(0) on a tridiagonal SPD matrix is the exact Cholesky.
         let a = spd_tridiag(20);
-        let ic = IncompleteCholesky::new(&a, 1e-14);
+        let ic = IncompleteCholesky::new(&a, 1e-14).unwrap();
         let mut rng = Rng::seed_from_u64(1);
         let b = rng.normal_vec(20);
         let x = ic.solve(&b);
@@ -188,7 +202,7 @@ mod tests {
     fn preconditions_mesh_laplacian_pcg() {
         let g = sgl_datasets::grid2d(15, 15);
         let l = laplacian_csr(&g);
-        let ic = IncompleteCholesky::new(&l, 1e-8);
+        let ic = IncompleteCholesky::new(&l, 1e-8).unwrap();
         let mut rng = Rng::seed_from_u64(2);
         let mut b = rng.normal_vec(225);
         vecops::project_out_mean(&mut b);
@@ -218,7 +232,25 @@ mod tests {
         // factorization must still succeed.
         let g = sgl_datasets::grid2d(6, 6);
         let l = laplacian_csr(&g);
-        let ic = IncompleteCholesky::new(&l, 1e-10);
+        let ic = IncompleteCholesky::new(&l, 1e-10).unwrap();
         assert!(ic.shift() > 0.0);
+    }
+
+    #[test]
+    fn bad_input_is_an_error_not_a_panic() {
+        // Non-square and empty matrices are invalid input.
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            IncompleteCholesky::new(&rect, 1e-8),
+            Err(sgl_linalg::LinalgError::InvalidInput(_))
+        ));
+        assert!(IncompleteCholesky::new(&CsrMatrix::zeros(0, 0), 1e-8).is_err());
+        // A negative-definite matrix defeats every shift retry; the
+        // error carries the breakdown pivot instead of panicking.
+        let neg = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1e308), (1, 1, -1e308)]);
+        assert!(matches!(
+            IncompleteCholesky::new(&neg, 1e-8),
+            Err(sgl_linalg::LinalgError::NotPositiveDefinite { .. })
+        ));
     }
 }

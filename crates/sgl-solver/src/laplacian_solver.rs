@@ -159,7 +159,7 @@ impl LaplacianSolver {
                 precond: Box::new(crate::ichol::IncompleteCholesky::new(
                     &sgl_graph::laplacian::laplacian_csr(graph),
                     1e-8,
-                )),
+                )?),
             },
             SolverMethod::Auto => unreachable!("resolved above"),
         };

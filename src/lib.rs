@@ -11,6 +11,9 @@
 //! * [`sgl_knn`] — kNN graph construction (brute force and HNSW).
 //! * [`sgl_datasets`] — synthetic meshes and circuit-style test cases.
 //! * [`sgl_core`] — the SGL algorithm itself.
+//! * [`sgl_multilevel`] — spectral coarsening: hierarchy construction,
+//!   coarse-level learning ([`learn_multilevel`](sgl_multilevel::learn_multilevel)),
+//!   resistance-based sparsification.
 //! * [`sgl_baseline`] — kNN and dense graphical-Lasso-style baselines.
 //!
 //! # Quickstart
@@ -59,6 +62,31 @@
 //! ([`SolverPolicy`](sgl_solver::SolverPolicy): method selection, shared
 //! per-revision handles, and the solver-free resistance mode).
 //!
+//! # Multilevel learning
+//!
+//! For large node counts, learn on a spectrally-coarsened hierarchy
+//! instead of the full graph: the flat loop runs once at the coarsest
+//! level, and the topology is prolonged + refined back up
+//! ([`learn_multilevel`](sgl_multilevel::learn_multilevel)):
+//!
+//! ```
+//! use sgl::prelude::*;
+//!
+//! let truth = sgl_datasets::grid2d(16, 16);
+//! let meas = Measurements::generate(&truth, 25, 7).unwrap();
+//! let cfg = SglConfig::builder()
+//!     .coarsening_ratio(0.6)  // shrink to ≤ 60% of the nodes per level
+//!     .max_levels(4)
+//!     .build().unwrap();
+//! let mut opts = MultilevelOptions::default();
+//! opts.hierarchy.coarsest_size = 64;
+//! let result = learn_multilevel(&cfg, &meas, &opts).unwrap();
+//! assert!(result.num_levels() >= 2);
+//! ```
+//!
+//! See the README's *Multilevel learning* section for the determinism
+//! contract and when to prefer it over flat `Sgl::learn`.
+//!
 //! # Parallelism
 //!
 //! Every parallel stage — kNN table builds, batched Laplacian solves,
@@ -76,6 +104,7 @@ pub use sgl_datasets;
 pub use sgl_graph;
 pub use sgl_knn;
 pub use sgl_linalg;
+pub use sgl_multilevel;
 pub use sgl_solver;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -86,4 +115,8 @@ pub mod prelude {
         SolverPolicy, StepOutcome,
     };
     pub use sgl_graph::Graph;
+    pub use sgl_multilevel::{
+        learn_multilevel, sparsify_by_resistance, MultilevelHierarchy, MultilevelOptions,
+        MultilevelResult, SparsifyOptions,
+    };
 }

@@ -9,6 +9,7 @@ use sgl_core::resistance::{sample_node_pairs, ResistanceEstimator, SpectralSketc
 use sgl_graph::Graph;
 use sgl_knn::{build_knn_graph, KnnGraphConfig};
 use sgl_linalg::{par, vecops, DenseMatrix, Rng};
+use sgl_multilevel::{spectral_affinity_aggregate, AggregationOptions};
 
 fn learn_with_threads(parallelism: usize, seed: u64) -> LearnResult {
     let truth = sgl_datasets::grid2d(9, 9);
@@ -96,4 +97,44 @@ fn pairwise_resistances_identical_at_any_thread_count() {
     let serial = par::with_threads(1, || sketch.resistances(&pairs).unwrap());
     let par_rs = par::with_threads(4, || sketch.resistances(&pairs).unwrap());
     assert_eq!(par_rs, serial);
+}
+
+#[test]
+fn clustering_partitions_identical_at_any_thread_count() {
+    use sgl_core::clustering::{kmeans, spectral_clustering};
+    // kmeans on raw rows and the full spectral pipeline: the partition
+    // must not depend on the ambient worker count.
+    let mut rng = Rng::seed_from_u64(21);
+    let data = DenseMatrix::from_fn(120, 4, |_, _| rng.standard_normal());
+    let serial_km = par::with_threads(1, || kmeans(&data, 4, 7, 100));
+    let ambient_km = kmeans(&data, 4, 7, 100);
+    assert_eq!(serial_km.labels, ambient_km.labels);
+
+    let g = sgl_datasets::grid2d(9, 9);
+    let serial = par::with_threads(1, || spectral_clustering(&g, 3, 5).unwrap());
+    let ambient = spectral_clustering(&g, 3, 5).unwrap();
+    let par4 = par::with_threads(4, || spectral_clustering(&g, 3, 5).unwrap());
+    assert_eq!(serial, ambient);
+    assert_eq!(serial, par4);
+}
+
+#[test]
+fn spectral_aggregation_partitions_identical_at_any_thread_count() {
+    use sgl_graph::laplacian::LaplacianOp;
+    use sgl_linalg::filter::{smoothed_test_vectors, FilterOptions};
+    let g = sgl_datasets::grid2d(12, 12);
+    let aggregate = || {
+        let vectors = smoothed_test_vectors(
+            &LaplacianOp::new(&g),
+            &g.weighted_degrees(),
+            &FilterOptions::default(),
+        );
+        spectral_affinity_aggregate(&g, &vectors, &AggregationOptions::default()).unwrap()
+    };
+    let serial = par::with_threads(1, aggregate);
+    let ambient = aggregate();
+    let par4 = par::with_threads(4, aggregate);
+    assert_eq!(serial.partition(), ambient.partition());
+    assert_eq!(serial.partition(), par4.partition());
+    assert_eq!(serial.num_coarse(), par4.num_coarse());
 }
