@@ -1,8 +1,9 @@
 //! End-to-end learning-loop benchmark across the parallel execution
-//! layer: the full SGL pipeline (kNN build → densification loop → edge
-//! scaling) on several scenarios, at 1 worker thread and at N, emitting
-//! `target/repro/BENCH_learn.json` — the tracked perf trajectory for
-//! every future scaling PR.
+//! layer and the incremental solver-revision path: the full SGL
+//! pipeline (kNN build → densification loop → edge scaling) on several
+//! scenarios, at 1 worker thread and at N, emitting
+//! `target/repro/BENCH_learn.json` — the perf trajectory tracked across
+//! PRs via the committed snapshot `BENCH_learn.json` at the repo root.
 //!
 //! Scenarios:
 //! * `grid`     — 2-D mesh with simulated voltage/current measurements;
@@ -11,27 +12,42 @@
 //! * `knn-cloud` — a raw point cloud whose coordinates are the data
 //!   matrix (GRASPEL-style attribute graph learning, voltage-only).
 //!
-//! Besides the timings the bench *asserts* the parallel determinism
-//! contract: the graph learned at N threads must be identical (same
-//! edges, bit-identical weights) to the 1-thread run.
+//! Every run drives the session step by step and probes a fixed set of
+//! effective resistances after each iteration — the telemetry workload
+//! (leverage scores, convergence diagnostics) that makes the solve
+//! layer's per-iteration cost visible: each probe needs a solver handle
+//! for the *current* revision, which the incremental-revision path
+//! serves from the cached factorization instead of refactoring.
 //!
-//! A final **multilevel** section compares `learn_multilevel` against
-//! flat `Sgl::learn` on a convergence-driven grid run (≥ 50k nodes at
-//! full size): hierarchy shape, wall-clock, total PCG iterations
-//! (`SolverContext::cumulative_stats`), and the first-k eigenvalue
-//! agreement — and asserts the learned hierarchy is bit-identical
-//! across thread counts.
+//! Besides the timings the bench *asserts*:
+//! * the parallel determinism contract — the graph learned at N threads
+//!   is identical (same edges, bit-identical weights) to the 1-thread
+//!   run;
+//! * the revision contract — on the grid scenario, the default policy
+//!   holds full factorizations to the refresh cadence
+//!   (`handles_built ≤ ⌈iters/4⌉` vs. one-per-iteration for the
+//!   always-refactor baseline) while learning the same graph (identical
+//!   edge set, weights within solver-tolerance grade);
+//! * the multilevel hierarchy is bit-identical across thread counts.
 //!
-//! Usage: `bench_learn [--threads N] [--m 30] [--iters 6] [--quick]`
+//! Usage: `bench_learn [--threads N] [--m 30] [--iters 6] [--quick]
+//! [--ml-side S] [--schema-against PATH]`
+//!
+//! `--schema-against` compares the emitted JSON's key set against a
+//! tracked snapshot and fails on drift (the CI smoke check).
 
 use sgl_bench::{banner, fix, repro_dir, sci, time, Args, Table};
+use sgl_core::resistance::sample_node_pairs;
 use sgl_core::{compare_spectra, LearnResult, Measurements, SglConfig, SglSession, SpectrumMethod};
 use sgl_datasets::delaunay::{delaunay, Point};
 use sgl_graph::Graph;
 use sgl_linalg::{par, DenseMatrix, Rng};
 use sgl_multilevel::{learn_multilevel, HierarchyOptions, MultilevelOptions, MultilevelResult};
-use sgl_solver::SolveStats;
+use sgl_solver::{RevisionStats, SolveStats};
 use std::io::Write;
+
+/// Resistance probes per iteration (the per-iteration solver workload).
+const PROBES_PER_ITER: usize = 8;
 
 /// A named workload: measurements to learn from (and the truth size).
 struct Scenario {
@@ -75,14 +91,25 @@ struct Run {
     edges: usize,
     converged: bool,
     solver: SolveStats,
+    revisions: RevisionStats,
     result: LearnResult,
 }
 
+/// Drive the session step by step, probing effective resistances after
+/// every iteration (see the module docs), then finish with Step-5
+/// scaling.
 fn run_learn(scenario: &Scenario, config: &SglConfig, threads: usize) -> Run {
     let cfg = config.clone().with_parallelism(threads);
+    let probes = sample_node_pairs(scenario.meas.num_nodes(), PROBES_PER_ITER, 0x9E0B);
     let (result, wall_s) = time(|| {
         let mut session = SglSession::new(cfg, &scenario.meas).expect("session");
-        session.run_to_completion().expect("learning");
+        while !session.is_done() {
+            session.step().expect("learning");
+            if !session.is_done() {
+                let est = session.resistance_estimator().expect("estimator");
+                est.resistances(&probes).expect("probes");
+            }
+        }
         session.finish().expect("finish")
     });
     Run {
@@ -92,6 +119,7 @@ fn run_learn(scenario: &Scenario, config: &SglConfig, threads: usize) -> Run {
         edges: result.graph.num_edges(),
         converged: result.converged,
         solver: result.solver_stats,
+        revisions: result.revision_stats,
         result,
     }
 }
@@ -112,6 +140,89 @@ fn assert_identical(name: &str, a: &Run, b: &Run) {
     }
 }
 
+/// Incremental-revision A/B on one scenario: the configured policy
+/// versus `max_delta_rank = 0` (always refactor — the pre-revision
+/// behavior and the PR 4 baseline). Asserts the revision acceptance
+/// contract: refresh cadence and learned-graph equivalence. When
+/// `expect_faster` (the setup-dominated direct-solver arm) the
+/// incremental wall-clock must also beat the baseline outright.
+struct IncrementalAb {
+    name: &'static str,
+    nodes: usize,
+    baseline: Run,
+    incremental: Run,
+    max_weight_rel_diff: f64,
+}
+
+fn run_incremental_ab(
+    scenario: &Scenario,
+    config: &SglConfig,
+    name: &'static str,
+    expect_faster: bool,
+) -> IncrementalAb {
+    let mut baseline_cfg = config.clone();
+    baseline_cfg.solver.max_delta_rank = 0;
+    let baseline = run_learn(scenario, &baseline_cfg, 1);
+    let incremental = run_learn(scenario, config, 1);
+
+    // Same learned topology, weights to solver-tolerance grade.
+    assert_eq!(
+        baseline.result.graph.num_edges(),
+        incremental.result.graph.num_edges(),
+        "{name}: incremental revisions changed the learned edge count"
+    );
+    let mut max_rel = 0.0f64;
+    for (ea, eb) in baseline
+        .result
+        .graph
+        .edges()
+        .iter()
+        .zip(incremental.result.graph.edges())
+    {
+        assert_eq!(
+            (ea.u, ea.v),
+            (eb.u, eb.v),
+            "{name}: incremental revisions changed the learned topology"
+        );
+        max_rel = max_rel.max((ea.weight - eb.weight).abs() / ea.weight.max(1e-300));
+    }
+    assert!(
+        max_rel < 1e-6,
+        "{name}: weights drifted {max_rel:.3e} past solver-tolerance grade"
+    );
+    // The refresh cadence: at most ⌈iters/4⌉ full factorizations with
+    // the default policy, versus the baseline's one-per-iteration.
+    let cap = incremental.iterations.div_ceil(4);
+    assert!(
+        incremental.revisions.handles_built <= cap,
+        "{name}: {} full factorizations over {} iterations (cadence cap {cap})",
+        incremental.revisions.handles_built,
+        incremental.iterations
+    );
+    assert!(
+        baseline.revisions.handles_built >= baseline.iterations,
+        "{name}: baseline should refactor every iteration ({} builds, {} iters)",
+        baseline.revisions.handles_built,
+        baseline.iterations
+    );
+    if expect_faster {
+        assert!(
+            incremental.wall_s < baseline.wall_s,
+            "{name}: incremental revisions should beat per-iteration refactoring \
+             ({:.3}s vs {:.3}s)",
+            incremental.wall_s,
+            baseline.wall_s
+        );
+    }
+    IncrementalAb {
+        name,
+        nodes: scenario.nodes,
+        baseline,
+        incremental,
+        max_weight_rel_diff: max_rel,
+    }
+}
+
 /// Flat-vs-multilevel comparison on a convergence-driven grid run.
 struct MultilevelBench {
     nodes: usize,
@@ -121,6 +232,8 @@ struct MultilevelBench {
     multi_wall: f64,
     flat_stats: SolveStats,
     multi_stats: SolveStats,
+    flat_revisions: RevisionStats,
+    multi_revisions: RevisionStats,
     flat_edges: usize,
     multi_edges: usize,
     eig_rel_err: f64,
@@ -144,9 +257,8 @@ fn assert_multilevel_identical(a: &MultilevelResult, b: &MultilevelResult) {
     }
 }
 
-fn run_multilevel_bench(quick: bool, threads: usize, m: usize) -> MultilevelBench {
-    let side = if quick { 40 } else { 224 }; // full: 50,176 nodes ≥ 50k
-    let coarsest = if quick { 64 } else { 1024 };
+fn run_multilevel_bench(side: usize, threads: usize, m: usize) -> MultilevelBench {
+    let coarsest = if side <= 48 { 64 } else { 1024 };
     let truth = sgl_datasets::grid2d(side, side);
     let nodes = truth.num_nodes();
     println!("\nmultilevel scenario: {side}x{side} grid ({nodes} nodes), M = {m}");
@@ -207,11 +319,41 @@ fn run_multilevel_bench(quick: bool, threads: usize, m: usize) -> MultilevelBenc
         multi_wall,
         flat_stats: flat.solver_stats,
         multi_stats: multi.solver_stats,
+        flat_revisions: flat.revision_stats,
+        multi_revisions: multi.revision_stats,
         flat_edges: flat.graph.num_edges(),
         multi_edges: multi.graph.num_edges(),
         eig_rel_err: cmp.mean_relative_error,
         eig_corr: cmp.correlation,
     }
+}
+
+/// Total forced refreshes of a revision counter set.
+fn refreshes(r: &RevisionStats) -> usize {
+    r.refreshes_on_rank + r.refreshes_on_iters + r.refreshes_on_numeric
+}
+
+/// Extract the sorted set of JSON object keys (`"key":`) — the schema
+/// fingerprint the CI smoke run diffs against the tracked snapshot.
+fn json_keys(text: &str) -> Vec<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = text[i + 1..].find('"') {
+                let key = &text[i + 1..i + 1 + end];
+                let rest = text[i + 1 + end + 1..].trim_start();
+                if rest.starts_with(':') {
+                    keys.insert(key.to_string());
+                }
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    keys.into_iter().collect()
 }
 
 fn main() {
@@ -220,13 +362,16 @@ fn main() {
     let threads: usize = args.get("threads", par::max_threads().max(2));
     let m: usize = args.get("m", if quick { 15 } else { 30 });
     let iters: usize = args.get("iters", if quick { 4 } else { 6 });
+    let ml_side: usize = args.get("ml-side", if quick { 40 } else { 224 });
     banner(
         "BENCH learn",
-        "full learning loop at 1 thread vs N threads",
+        "full learning loop at 1 thread vs N threads, with per-iteration resistance probes",
         &[
             ("threads", threads.to_string()),
             ("M", m.to_string()),
             ("iters", iters.to_string()),
+            ("ml_side", ml_side.to_string()),
+            ("probes", PROBES_PER_ITER.to_string()),
             ("host_cores", par::max_threads().to_string()),
         ],
     );
@@ -277,6 +422,8 @@ fn main() {
         "iters",
         "edges",
         "pcg_iters",
+        "handles",
+        "delta_upd",
     ]);
     let mut rows = Vec::new();
     for sc in &scenarios {
@@ -302,17 +449,68 @@ fn main() {
                 run.iterations.to_string(),
                 run.edges.to_string(),
                 run.solver.iterations.to_string(),
+                run.revisions.handles_built.to_string(),
+                run.revisions.delta_updates.to_string(),
             ]);
             rows.push((sc.name, sc.nodes, run));
         }
     }
     table.print();
 
-    let ml = run_multilevel_bench(quick, threads, m);
+    // Incremental-revision A/Bs against the always-refactor baseline
+    // (max_delta_rank = 0 — the pre-revision, PR 4 behavior):
+    //
+    // * `grid-auto`  — the main grid scenario under the default (Auto →
+    //   AMG) policy: asserts the refresh cadence and learned-graph
+    //   equivalence. Setup for the iterative preconditioners on
+    //   ultra-sparse graphs is cheap, so wall-clock is expected to be
+    //   roughly neutral here; the contract is the cadence.
+    // * `grid-dense` — a dense-Cholesky-sized grid under the exact
+    //   direct policy, the setup-dominated regime the Woodbury path
+    //   targets (`O(N³)` refactor vs. `O(N²)` corrected solves): here
+    //   the incremental path must also win wall-clock outright.
+    let ab_auto = run_incremental_ab(&scenarios[0], &config, "grid-auto", false);
+    let dense_scenario = {
+        let side = if quick { 20 } else { 48 };
+        let truth = sgl_datasets::grid2d(side, side);
+        Scenario {
+            name: "grid-dense",
+            nodes: truth.num_nodes(),
+            meas: Measurements::generate(&truth, m, 19).expect("dense-grid measurements"),
+        }
+    };
+    let mut dense_cfg = config.clone();
+    dense_cfg.solver.method = sgl_core::PolicyMethod::DenseCholesky;
+    dense_cfg.solver.dense_max_nodes = 0;
+    let ab_dense = run_incremental_ab(&dense_scenario, &dense_cfg, "grid-dense", true);
+    let abs = [ab_auto, ab_dense];
+    for ab in &abs {
+        println!(
+            "\nincremental revisions ({}, {} nodes, 1 thread): baseline {:.3}s / {} \
+             factorizations → incremental {:.3}s / {} factorizations, {} delta updates \
+             (rank {}), {} forced refreshes, max weight drift {:.2e} ✓",
+            ab.name,
+            ab.nodes,
+            ab.baseline.wall_s,
+            ab.baseline.revisions.handles_built,
+            ab.incremental.wall_s,
+            ab.incremental.revisions.handles_built,
+            ab.incremental.revisions.delta_updates,
+            ab.incremental.revisions.delta_rank_applied,
+            refreshes(&ab.incremental.revisions),
+            ab.max_weight_rel_diff,
+        );
+    }
+
+    let ml = run_multilevel_bench(ml_side, threads, m);
 
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"learn\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
+    json.push_str(&format!(
+        "  \"args\": \"threads={threads} m={m} iters={iters} ml_side={ml_side} quick={quick}\",\n"
+    ));
+    json.push_str(&format!("  \"probes_per_iteration\": {PROBES_PER_ITER},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n  \"rows\": [\n"));
     for (i, (name, nodes, run)) in rows.iter().enumerate() {
         let t1 = rows
@@ -324,7 +522,9 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"nodes\": {}, \"threads\": {}, \
              \"wall_s\": {:.9}, \"speedup_vs_serial\": {:.4}, \"iterations\": {}, \
              \"edges\": {}, \"converged\": {}, \"solver_solves\": {}, \
-             \"solver_pcg_iterations\": {}, \"solver_last_residual\": {:.3e}}}{}\n",
+             \"solver_pcg_iterations\": {}, \"solver_last_residual\": {:.3e}, \
+             \"handles_built\": {}, \"delta_updates\": {}, \"delta_rank\": {}, \
+             \"refreshes\": {}}}{}\n",
             name,
             nodes,
             run.threads,
@@ -336,7 +536,37 @@ fn main() {
             run.solver.solves,
             run.solver.iterations,
             run.solver.last_relative_residual,
+            run.revisions.handles_built,
+            run.revisions.delta_updates,
+            run.revisions.delta_rank_applied,
+            refreshes(&run.revisions),
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"incremental\": [\n");
+    for (i, ab) in abs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"nodes\": {}, \"iterations\": {}, \
+             \"wall_s_baseline\": {:.9}, \"wall_s_incremental\": {:.9}, \
+             \"handles_built_baseline\": {}, \"handles_built_incremental\": {}, \
+             \"delta_updates_incremental\": {}, \"delta_rank_incremental\": {}, \
+             \"refreshes_incremental\": {}, \"pcg_iterations_baseline\": {}, \
+             \"pcg_iterations_incremental\": {}, \"max_weight_rel_diff\": {}, \
+             \"graphs_equivalent\": true}}{}\n",
+            ab.name,
+            ab.nodes,
+            ab.incremental.iterations,
+            ab.baseline.wall_s,
+            ab.incremental.wall_s,
+            ab.baseline.revisions.handles_built,
+            ab.incremental.revisions.handles_built,
+            ab.incremental.revisions.delta_updates,
+            ab.incremental.revisions.delta_rank_applied,
+            refreshes(&ab.incremental.revisions),
+            ab.baseline.solver.iterations,
+            ab.incremental.solver.iterations,
+            sci(ab.max_weight_rel_diff),
+            if i + 1 < abs.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
@@ -347,6 +577,8 @@ fn main() {
          \"wall_s_flat\": {:.9}, \"wall_s_multilevel\": {:.9}, \
          \"pcg_iterations_flat\": {}, \"pcg_iterations_multilevel\": {}, \
          \"solves_flat\": {}, \"solves_multilevel\": {}, \
+         \"handles_built_flat\": {}, \"handles_built_multilevel\": {}, \
+         \"delta_updates_flat\": {}, \"delta_updates_multilevel\": {}, \
          \"edges_flat\": {}, \"edges_multilevel\": {}, \
          \"eig_rel_err_vs_flat\": {}, \"eig_corr_vs_flat\": {:.6}, \
          \"bit_identical_across_threads\": true}}\n",
@@ -360,6 +592,10 @@ fn main() {
         ml.multi_stats.iterations,
         ml.flat_stats.solves,
         ml.multi_stats.solves,
+        ml.flat_revisions.handles_built,
+        ml.multi_revisions.handles_built,
+        ml.flat_revisions.delta_updates,
+        ml.multi_revisions.delta_updates,
         ml.flat_edges,
         ml.multi_edges,
         sci(ml.eig_rel_err),
@@ -371,4 +607,21 @@ fn main() {
     f.write_all(json.as_bytes())
         .expect("write BENCH_learn.json");
     println!("\nwrote {}", path.display());
+
+    // Schema drift check against the tracked snapshot (CI smoke mode).
+    if let Some(tracked) = {
+        let flag = args.get("schema-against", String::new());
+        (!flag.is_empty()).then_some(flag)
+    } {
+        let snapshot = std::fs::read_to_string(&tracked)
+            .unwrap_or_else(|e| panic!("cannot read tracked snapshot {tracked}: {e}"));
+        let expect = json_keys(&snapshot);
+        let got = json_keys(&json);
+        assert_eq!(
+            got, expect,
+            "BENCH_learn.json schema drifted from the tracked snapshot {tracked}; \
+             regenerate and commit it alongside the change"
+        );
+        println!("schema matches tracked snapshot {tracked} ✓");
+    }
 }

@@ -57,6 +57,10 @@ pub struct LearnResult {
     /// Lifetime Laplacian-solve statistics of the run (all handle
     /// revisions combined); all-zero for a solver-free pipeline.
     pub solver_stats: sgl_solver::SolveStats,
+    /// Revision counters of the session's solver context: full
+    /// factorizations vs. incrementally absorbed edge deltas, and what
+    /// forced each refresh.
+    pub revision_stats: sgl_solver::RevisionStats,
 }
 
 impl LearnResult {

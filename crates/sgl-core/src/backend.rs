@@ -244,8 +244,9 @@ impl EdgeScaler for SpectralScaler {
         }
         let handle = ctx.handle_for(graph)?;
         let factor = spectral_edge_scaling_with(graph, measurements, handle.as_ref())?;
-        // The weights just changed uniformly; the cached handle is stale.
-        ctx.invalidate();
+        // The weights changed uniformly — `(c·L)⁺ = L⁺/c`, so the
+        // context can keep its factorization and serve a scaled wrapper.
+        ctx.apply_scale(graph, factor);
         Ok(Some(factor))
     }
 }

@@ -429,6 +429,23 @@ impl SglConfigBuilder {
         self
     }
 
+    /// Cap on the accumulated low-rank delta the solver context absorbs
+    /// incrementally before a full refactorization (0 = incremental
+    /// revisions off; every edge insertion refactors, the pre-revision
+    /// behavior).
+    pub fn max_delta_rank(mut self, max_delta_rank: usize) -> Self {
+        self.cfg.solver.max_delta_rank = max_delta_rank;
+        self
+    }
+
+    /// Refresh trigger for incrementally revised solver handles: a
+    /// corrected solve taking more than this factor × its post-build
+    /// baseline iterations schedules a refactorization (must be ≥ 1).
+    pub fn refresh_iter_factor(mut self, refresh_iter_factor: f64) -> Self {
+        self.cfg.solver.refresh_iter_factor = refresh_iter_factor;
+        self
+    }
+
     /// Effective-resistance estimator strategy (exact, JL sketch, or the
     /// solver-free spectral sketch).
     pub fn resistance(mut self, resistance: ResistanceMethod) -> Self {
@@ -598,9 +615,25 @@ mod tests {
         assert_eq!(c.solver.max_iter, 500);
         assert_eq!(c.solver.reuse, ReuseMode::PerCall);
         assert_eq!(c.resistance, ResistanceMethod::SpectralSketch { width: 16 });
+        // Revision knobs thread through too.
+        let c = SglConfig::builder()
+            .max_delta_rank(17)
+            .refresh_iter_factor(2.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.solver.max_delta_rank, 17);
+        assert_eq!(c.solver.refresh_iter_factor, 2.5);
         // Policy violations are caught at build() time.
         assert!(SglConfig::builder().solver_rtol(0.0).build().is_err());
         assert!(SglConfig::builder().solver_max_iter(0).build().is_err());
+        assert!(SglConfig::builder()
+            .refresh_iter_factor(0.5)
+            .build()
+            .is_err());
+        assert!(SglConfig::builder()
+            .refresh_iter_factor(f64::NAN)
+            .build()
+            .is_err());
         assert!(SglConfig::builder()
             .solver_policy(SolverPolicy::default().with_rtol(f64::NAN))
             .build()

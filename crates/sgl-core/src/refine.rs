@@ -162,16 +162,25 @@ pub fn refine_weights_with(
         };
         let mut max_log = 0.0f64;
         let mut sum_log = 0.0f64;
+        let mut deltas = Vec::with_capacity(num_edges);
         for (i, &eta) in etas.iter().enumerate() {
             let log_eta = eta.ln();
             max_log = max_log.max(log_eta.abs());
             sum_log += log_eta.abs();
             let factor = eta.powf(opts.damping).clamp(1.0 / opts.clamp, opts.clamp);
-            let w = graph.edge(i).weight;
-            graph.set_weight(i, w * factor);
+            let e = graph.edge(i);
+            graph.set_weight(i, e.weight * factor);
+            deltas.push(sgl_graph::EdgeDelta::reweight(
+                e.u,
+                e.v,
+                e.weight,
+                e.weight * factor,
+            ));
         }
-        // Weights just changed: the context's cached handle is stale.
-        ctx.invalidate();
+        // Weights just changed — report the (usually full-rank) delta to
+        // the context: small graphs absorb it incrementally, larger ones
+        // exceed the delta-rank cap and refactor exactly as before.
+        ctx.apply_deltas(graph, &deltas)?;
         trace.push(RefineRecord {
             round,
             max_log_distortion: max_log,
@@ -264,9 +273,19 @@ mod tests {
             assert_eq!((a.u, a.v), (b.u, b.v));
             assert_eq!(a.weight, b.weight, "context path must be bit-identical");
         }
-        // One handle per round (the weight update invalidates), and the
-        // context saw every sketch solve.
-        assert_eq!(ctx.handles_built(), 2);
+        // Each round's weight update is reported to the context: either
+        // absorbed incrementally (small graphs fit the delta-rank cap)
+        // or refactored — two rounds account for two revisions either
+        // way, and the context saw every sketch solve.
+        let rs = ctx.revision_stats();
+        assert!(
+            rs.handles_built >= 1 && rs.handles_built <= 2,
+            "two rounds need at most two factorizations: {rs:?}"
+        );
+        assert!(
+            rs.handles_built + rs.delta_updates >= 2,
+            "every round's weight update must be accounted for: {rs:?}"
+        );
         assert!(ctx.cumulative_stats().solves > 0);
     }
 

@@ -47,7 +47,7 @@ use crate::measure::Measurements;
 use crate::resistance::{build_resistance_estimator, ResistanceEstimator};
 use crate::sensitivity::CandidatePool;
 use sgl_graph::mst::maximum_spanning_tree;
-use sgl_graph::Graph;
+use sgl_graph::{EdgeDelta, Graph};
 use sgl_knn::build_knn_graph;
 use sgl_linalg::par::with_threads_hint as with_session_threads;
 use sgl_solver::SolverContext;
@@ -445,11 +445,17 @@ impl<'m> SglSession<'m> {
             self.stopping.selection_tol(),
         );
         let added = picked.len();
+        let mut deltas = Vec::with_capacity(added);
         for c in picked {
             self.graph.add_edge(c.u, c.v, c.weight);
+            deltas.push(EdgeDelta::insert(c.u, c.v, c.weight));
         }
-        // A new graph revision: any cached solver handle is stale.
-        self.solver.invalidate();
+        // A new graph revision, but a low-rank one: let the solver
+        // context absorb the `⌈Nβ⌉` inserted edges as a Woodbury
+        // correction on its cached factorization instead of refactoring
+        // (it refreshes itself at the policy's delta-rank /
+        // iteration-blow-up cadence).
+        self.solver.apply_deltas(&self.graph, &deltas)?;
         let record = self.push_record(smax, added);
         if added == 0 {
             // smax ≥ tol but nothing selectable: numerical corner, treat
@@ -554,6 +560,7 @@ impl<'m> SglSession<'m> {
             scale_factor,
             embedding: self.embedding.expect("embedding ensured above"),
             solver_stats: self.solver.cumulative_stats(),
+            revision_stats: self.solver.revision_stats(),
         };
         for obs in &mut self.observers {
             obs.on_finish(&result);

@@ -40,7 +40,7 @@ pub mod tree;
 pub mod union_find;
 
 pub use csr::AdjacencyCsr;
-pub use laplacian::LaplacianOp;
+pub use laplacian::{EdgeDelta, LaplacianOp};
 pub use union_find::UnionFind;
 
 use std::fmt;
@@ -86,6 +86,17 @@ impl Edge {
     }
 }
 
+/// Process-global source of [`Graph`] revision values: every mutation of
+/// any graph draws a fresh value, so equal revisions imply equal content
+/// (a clone shares its original's revision — and its exact content —
+/// until either is mutated again).
+static NEXT_REVISION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+#[inline]
+fn fresh_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A weighted undirected graph stored as a validated edge list.
 ///
 /// Parallel edges added through [`Graph::add_edge`] are merged by summing
@@ -96,6 +107,9 @@ pub struct Graph {
     edges: Vec<Edge>,
     /// Map from canonical (u, v) to index in `edges` for merging.
     index: std::collections::HashMap<(usize, usize), usize>,
+    /// Revision epoch: bumped to a process-unique value by every
+    /// mutation, so caches can detect change in O(1).
+    revision: u64,
 }
 
 impl Graph {
@@ -105,7 +119,24 @@ impl Graph {
             num_nodes,
             edges: Vec::new(),
             index: std::collections::HashMap::new(),
+            revision: fresh_revision(),
         }
+    }
+
+    /// The graph's revision epoch — an O(1) change detector for solver
+    /// and preconditioner caches. Every mutating call ([`add_edge`],
+    /// [`set_weight`], [`scale_weights`]) moves the graph to a fresh
+    /// process-unique revision, so two graphs at the same revision are
+    /// guaranteed to have identical content (they are clones with no
+    /// mutation since the copy). The value itself is opaque: only
+    /// equality is meaningful, not order.
+    ///
+    /// [`add_edge`]: Graph::add_edge
+    /// [`set_weight`]: Graph::set_weight
+    /// [`scale_weights`]: Graph::scale_weights
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Build from an edge iterator (merging duplicates).
@@ -163,6 +194,7 @@ impl Graph {
             self.num_nodes
         );
         let e = Edge::new(u, v, weight);
+        self.revision = fresh_revision();
         match self.index.entry((e.u, e.v)) {
             std::collections::hash_map::Entry::Occupied(o) => {
                 let i = *o.get();
@@ -198,6 +230,7 @@ impl Graph {
             factor > 0.0 && factor.is_finite(),
             "scale factor must be positive and finite"
         );
+        self.revision = fresh_revision();
         for e in &mut self.edges {
             e.weight *= factor;
         }
@@ -213,6 +246,7 @@ impl Graph {
             weight > 0.0 && weight.is_finite(),
             "edge weight must be positive and finite"
         );
+        self.revision = fresh_revision();
         self.edges[i].weight = weight;
     }
 
@@ -337,6 +371,33 @@ mod tests {
         g.scale_weights(0.5);
         assert_eq!(g.edge(0).weight, 0.5);
         assert_eq!(g.edge(1).weight, 1.0);
+    }
+
+    #[test]
+    fn revision_tracks_every_mutation() {
+        let mut g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)]);
+        let r0 = g.revision();
+        // A clone is identical content: same revision.
+        let clone = g.clone();
+        assert_eq!(clone.revision(), r0);
+        // Every mutator moves to a fresh, process-unique revision.
+        g.add_edge(0, 2, 1.0);
+        let r1 = g.revision();
+        assert_ne!(r1, r0);
+        g.add_edge(0, 1, 0.5); // merge still counts as a mutation
+        let r2 = g.revision();
+        assert_ne!(r2, r1);
+        g.set_weight(0, 3.0);
+        let r3 = g.revision();
+        assert_ne!(r3, r2);
+        g.scale_weights(2.0);
+        assert_ne!(g.revision(), r3);
+        // Diverged clones never collide, even at equal mutation counts.
+        let mut a = clone.clone();
+        let mut b = clone;
+        a.add_edge(0, 2, 1.0);
+        b.add_edge(0, 2, 1.0);
+        assert_ne!(a.revision(), b.revision());
     }
 
     #[test]

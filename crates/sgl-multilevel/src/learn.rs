@@ -45,7 +45,7 @@ use sgl_core::{
     SglError, SglSession,
 };
 use sgl_graph::mst::maximum_spanning_tree;
-use sgl_graph::Graph;
+use sgl_graph::{EdgeDelta, Graph};
 use sgl_knn::build_knn_graph;
 use sgl_linalg::par::with_threads_hint;
 use sgl_linalg::DenseMatrix;
@@ -154,6 +154,9 @@ pub struct MultilevelResult {
     /// coarsest session's plus every prolong/refine/scale solve above
     /// it.
     pub solver_stats: SolveStats,
+    /// Revision counters of the whole run (coarsest session + upward
+    /// sweep): full factorizations vs. incrementally absorbed deltas.
+    pub revision_stats: sgl_solver::RevisionStats,
 }
 
 impl MultilevelResult {
@@ -350,11 +353,13 @@ fn learn_inner(
         current = fine;
     }
 
-    // Step 5 at the finest level, exactly like the flat pipeline.
+    // Step 5 at the finest level, exactly like the flat pipeline; the
+    // uniform rescale is absorbed by the context ((c·L)⁺ = L⁺/c), not
+    // refactored.
     let scale_factor = if config.scale_edges && measurements.currents().is_some() {
         let handle = ctx.handle_for(&current)?;
         let factor = spectral_edge_scaling_with(&mut current, measurements, handle.as_ref())?;
-        ctx.invalidate();
+        ctx.apply_scale(&current, factor);
         Some(factor)
     } else {
         None
@@ -363,6 +368,8 @@ fn learn_inner(
     let mut solver_stats = coarse_result.solver_stats;
     solver_stats.absorb(&ctx.cumulative_stats());
     solver_stats.absorb(&prune_stats);
+    let mut revision_stats = coarse_result.revision_stats;
+    revision_stats.absorb(&ctx.revision_stats());
     Ok(MultilevelResult {
         graph: current,
         level_sizes: hierarchy.level_sizes(),
@@ -370,6 +377,7 @@ fn learn_inner(
         reports,
         scale_factor,
         solver_stats,
+        revision_stats,
     })
 }
 
@@ -428,11 +436,16 @@ fn densify_level(
         if picked.is_empty() {
             break;
         }
+        let mut deltas = Vec::with_capacity(picked.len());
         for c in &picked {
             graph.add_edge(c.u, c.v, c.weight);
+            deltas.push(EdgeDelta::insert(c.u, c.v, c.weight));
         }
         added += picked.len();
-        ctx.invalidate();
+        // Low-rank revision: the context keeps its factorization and
+        // absorbs the sweep's insertions as a Woodbury correction (or
+        // refreshes itself at the policy cadence).
+        ctx.apply_deltas(graph, &deltas)?;
     }
     Ok((added, warm))
 }

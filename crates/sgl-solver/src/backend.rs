@@ -17,7 +17,7 @@ use crate::laplacian_solver::{LaplacianSolver, SolveScratch, SolverMethod, Solve
 use sgl_graph::laplacian::laplacian_csr;
 use sgl_graph::traversal::is_connected;
 use sgl_graph::Graph;
-use sgl_linalg::{par, vecops, CholeskyFactor, LinalgError};
+use sgl_linalg::{par, vecops, CholeskyFactor, LinalgError, Preconditioner};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -50,7 +50,7 @@ impl SolveStats {
 
 /// Interior-mutable stat counters (solves take `&self`).
 #[derive(Debug, Default)]
-struct StatCell {
+pub(crate) struct StatCell {
     solves: AtomicUsize,
     batches: AtomicUsize,
     iterations: AtomicUsize,
@@ -58,18 +58,18 @@ struct StatCell {
 }
 
 impl StatCell {
-    fn record(&self, rhs: usize, iterations: usize, residual: f64) {
+    pub(crate) fn record(&self, rhs: usize, iterations: usize, residual: f64) {
         self.solves.fetch_add(rhs, Ordering::Relaxed);
         self.iterations.fetch_add(iterations, Ordering::Relaxed);
         self.last_residual_bits
             .store(residual.to_bits(), Ordering::Relaxed);
     }
 
-    fn record_batch(&self) {
+    pub(crate) fn record_batch(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> SolveStats {
+    pub(crate) fn snapshot(&self) -> SolveStats {
         SolveStats {
             solves: self.solves.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -113,6 +113,18 @@ pub trait SolverHandle: Send + Sync {
 
     /// Cumulative solve statistics for this handle.
     fn stats(&self) -> SolveStats;
+
+    /// The handle's prepared PCG preconditioner, if it has one that is
+    /// meaningful *as a preconditioner on its own* (tree solve, IC(0)
+    /// factors, AMG V-cycle, Jacobi diagonal). Solver revisions use it
+    /// to keep preconditioning PCG against a slightly updated operator
+    /// — the stale-preconditioner amortization — so the setup keeps
+    /// earning across low-rank graph changes. Direct backends return
+    /// `None` (their amortization path is the Woodbury-corrected base
+    /// solve instead).
+    fn stale_preconditioner(&self) -> Option<Arc<dyn Preconditioner + Send + Sync>> {
+        None
+    }
 }
 
 /// Builds [`SolverHandle`]s for graphs. Object-safe so a policy can
@@ -230,6 +242,10 @@ impl SolverHandle for IterativeHandle {
 
     fn stats(&self) -> SolveStats {
         self.stats.snapshot()
+    }
+
+    fn stale_preconditioner(&self) -> Option<Arc<dyn Preconditioner + Send + Sync>> {
+        self.solver.preconditioner()
     }
 }
 
@@ -446,6 +462,22 @@ pub struct SolverPolicy {
     /// otherwise; `1` pins the guaranteed-serial path (bit-identical
     /// results either way).
     pub parallelism: usize,
+    /// Cap on the accumulated low-rank delta a
+    /// [`SolverContext`](crate::SolverContext) may absorb through
+    /// [`apply_deltas`](crate::SolverContext::apply_deltas) before it
+    /// falls back to a full refactorization: once the number of distinct
+    /// delta edges since the last full build would exceed this, the next
+    /// request rebuilds instead of stacking another Woodbury correction.
+    /// `0` disables the incremental path entirely (every delta batch
+    /// invalidates — the pre-revision behavior).
+    pub max_delta_rank: usize,
+    /// Refresh trigger on iteration blow-up: when a delta-corrected
+    /// solve's outer PCG takes more than `refresh_iter_factor ×` the
+    /// iterations of the first corrected solve after the last full
+    /// build, the context schedules a refactorization (the stale base
+    /// factorization has drifted too far from the current operator).
+    /// Must be ≥ 1; larger tolerates more drift before refreshing.
+    pub refresh_iter_factor: f64,
 }
 
 impl Default for SolverPolicy {
@@ -457,6 +489,8 @@ impl Default for SolverPolicy {
             reuse: ReuseMode::PerRevision,
             dense_max_nodes: 4096,
             parallelism: 0,
+            max_delta_rank: 64,
+            refresh_iter_factor: 4.0,
         }
     }
 }
@@ -478,6 +512,12 @@ impl SolverPolicy {
             return Err(LinalgError::InvalidInput(
                 "solver max_iter must be at least 1".into(),
             ));
+        }
+        if !self.refresh_iter_factor.is_finite() || self.refresh_iter_factor < 1.0 {
+            return Err(LinalgError::InvalidInput(format!(
+                "solver refresh_iter_factor must be finite and at least 1, got {}",
+                self.refresh_iter_factor
+            )));
         }
         Ok(())
     }
@@ -545,6 +585,21 @@ impl SolverPolicy {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style setter for the delta-rank cap (0 = incremental
+    /// revisions off).
+    #[must_use]
+    pub fn with_max_delta_rank(mut self, max_delta_rank: usize) -> Self {
+        self.max_delta_rank = max_delta_rank;
+        self
+    }
+
+    /// Builder-style setter for the iteration-blow-up refresh trigger.
+    #[must_use]
+    pub fn with_refresh_iter_factor(mut self, refresh_iter_factor: f64) -> Self {
+        self.refresh_iter_factor = refresh_iter_factor;
         self
     }
 }

@@ -129,22 +129,29 @@ impl IncompleteCholesky {
         self.shift
     }
 
-    /// Solve `L Lᵀ z = r` (forward + backward substitution).
-    pub fn solve(&self, r: &[f64]) -> Vec<f64> {
+    /// Solve `L Lᵀ z = r` (forward + backward substitution) into a
+    /// caller-provided buffer, allocation-free: both sweeps run in place
+    /// over `z`, so the PCG hot loop reuses its workspace vector on
+    /// every application.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn solve_into(&self, r: &[f64], z: &mut [f64]) {
         let n = self.diag.len();
         assert_eq!(r.len(), n, "ichol solve: length mismatch");
-        // Forward: L y = r with L = lower + diag.
-        let mut y = vec![0.0; n];
+        assert_eq!(z.len(), n, "ichol solve: output length mismatch");
+        // Forward: L y = r with L = lower + diag — in place (row i only
+        // reads already-finalized entries j < i).
+        z.copy_from_slice(r);
         for i in 0..n {
             let (cols, vals) = self.lower.row(i);
-            let mut s = r[i];
+            let mut s = z[i];
             for (&j, &v) in cols.iter().zip(vals) {
-                s -= v * y[j];
+                s -= v * z[j];
             }
-            y[i] = s / self.diag[i];
+            z[i] = s / self.diag[i];
         }
-        // Backward: Lᵀ z = y. Accumulate column-wise.
-        let mut z = y;
+        // Backward: Lᵀ z = y. Accumulate column-wise, also in place.
         for i in (0..n).rev() {
             z[i] /= self.diag[i];
             let zi = z[i];
@@ -153,14 +160,23 @@ impl IncompleteCholesky {
                 z[j] -= v * zi;
             }
         }
+    }
+
+    /// Solve `L Lᵀ z = r` into a fresh vector (the convenience wrapper;
+    /// hot paths go through [`solve_into`](IncompleteCholesky::solve_into)
+    /// / the [`Preconditioner::apply`] scratch path instead).
+    pub fn solve(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.diag.len()];
+        self.solve_into(r, &mut z);
         z
     }
 }
 
 impl Preconditioner for IncompleteCholesky {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        let out = self.solve(r);
-        z.copy_from_slice(&out);
+        // The PCG hot loop lands here once per iteration: substitute
+        // straight into the caller's scratch vector, no allocation.
+        self.solve_into(r, z);
         vecops::project_out_mean(z);
     }
 }

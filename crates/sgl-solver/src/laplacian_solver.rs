@@ -9,6 +9,7 @@ use sgl_graph::traversal::is_connected;
 use sgl_graph::Graph;
 use sgl_linalg::cg::{pcg_solve_with, CgOptions, CgWorkspace};
 use sgl_linalg::{vecops, JacobiPreconditioner, LinalgError, Preconditioner};
+use std::sync::Arc;
 
 /// Which solver backend to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,7 +80,10 @@ impl SolveScratch {
 enum Backend {
     TreeDirect(TreeSolver),
     Pcg {
-        precond: Box<dyn Preconditioner + Send + Sync>,
+        /// Shared so revision wrappers can keep preconditioning PCG on
+        /// an *updated* operator without refactoring (see
+        /// [`LaplacianSolver::preconditioner`]).
+        precond: Arc<dyn Preconditioner + Send + Sync>,
     },
 }
 
@@ -145,18 +149,18 @@ impl LaplacianSolver {
                 Backend::TreeDirect(TreeSolver::new(graph))
             }
             SolverMethod::TreePcg => Backend::Pcg {
-                precond: Box::new(TreePreconditioner::from_graph(graph)),
+                precond: Arc::new(TreePreconditioner::from_graph(graph)),
             },
             SolverMethod::AmgPcg => Backend::Pcg {
-                precond: Box::new(AmgHierarchy::build(graph, &opts.amg)),
+                precond: Arc::new(AmgHierarchy::build(graph, &opts.amg)),
             },
             SolverMethod::JacobiPcg => Backend::Pcg {
-                precond: Box::new(JacobiPreconditioner::from_diagonal(
+                precond: Arc::new(JacobiPreconditioner::from_diagonal(
                     &graph.weighted_degrees(),
                 )),
             },
             SolverMethod::IcholPcg => Backend::Pcg {
-                precond: Box::new(crate::ichol::IncompleteCholesky::new(
+                precond: Arc::new(crate::ichol::IncompleteCholesky::new(
                     &sgl_graph::laplacian::laplacian_csr(graph),
                     1e-8,
                 )?),
@@ -175,6 +179,21 @@ impl LaplacianSolver {
     /// The backend actually in use (after `Auto` resolution).
     pub fn method(&self) -> SolverMethod {
         self.method
+    }
+
+    /// The PCG preconditioner prepared for this graph, if the resolved
+    /// method is a PCG variant (`None` for the exact tree solve). Shared
+    /// out so a solver revision can keep preconditioning PCG on a
+    /// slightly *updated* operator — the stale-preconditioner
+    /// amortization: the setup (tree build, IC(0) factorization, AMG
+    /// hierarchy) keeps earning across low-rank graph changes. PCG is
+    /// invariant to preconditioner scaling, so a uniformly rescaled
+    /// graph needs no adjustment at all.
+    pub fn preconditioner(&self) -> Option<Arc<dyn Preconditioner + Send + Sync>> {
+        match &self.backend {
+            Backend::Pcg { precond } => Some(Arc::clone(precond)),
+            Backend::TreeDirect(_) => None,
+        }
     }
 
     /// Number of nodes.

@@ -75,7 +75,7 @@ pub use backend::{
     DenseCholeskyBackend, IterativeBackend, PolicyMethod, ReuseMode, SolveStats, SolverBackend,
     SolverHandle, SolverPolicy,
 };
-pub use context::SolverContext;
+pub use context::{RevisionStats, SolverContext};
 pub use ichol::IncompleteCholesky;
 pub use laplacian_solver::{
     LaplacianSolver, SolveScratch, SolverMethod, SolverOptions, SolverStats,
