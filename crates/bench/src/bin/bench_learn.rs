@@ -521,7 +521,7 @@ fn main() {
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"nodes\": {}, \"threads\": {}, \
              \"wall_s\": {:.9}, \"speedup_vs_serial\": {:.4}, \"iterations\": {}, \
-             \"edges\": {}, \"converged\": {}, \"solver_solves\": {}, \
+             \"edges\": {}, \"converged\": {}, \"stop_reason\": \"{}\", \"solver_solves\": {}, \
              \"solver_pcg_iterations\": {}, \"solver_last_residual\": {:.3e}, \
              \"handles_built\": {}, \"delta_updates\": {}, \"delta_rank\": {}, \
              \"refreshes\": {}}}{}\n",
@@ -533,6 +533,7 @@ fn main() {
             run.iterations,
             run.edges,
             run.converged,
+            run.result.stop_verdict.as_str(),
             run.solver.solves,
             run.solver.iterations,
             run.solver.last_relative_residual,

@@ -1,0 +1,408 @@
+//! BENCH serve — concurrent snapshot serving under streaming ingest.
+//!
+//! Three arms, mirroring the sgl-serve contract, emitted as
+//! `target/repro/BENCH_serve.json` and tracked across PRs via the
+//! committed snapshot `BENCH_serve.json` at the repo root:
+//!
+//! * **fixed-snapshot** — reader threads hammer micro-batched
+//!   effective-resistance queries against a frozen snapshot at several
+//!   reader counts. Every response must be version-tagged `v0` and
+//!   bit-identical to the canonical single-threaded answers (the
+//!   serving extension of the `tests/parallel_equivalence.rs`
+//!   determinism contract); throughput and latency percentiles are
+//!   recorded per reader count.
+//! * **ingest-churn** — readers keep hammering while the writer ingests
+//!   measurement batches and republishes. No reader ever stalls on a
+//!   publish: latency percentiles stay bounded, and every response must
+//!   bit-match the canonical answers *for the version that served it* —
+//!   one snapshot per answer, never a torn mix.
+//! * **revision** — the solver-revision counters of the final snapshot:
+//!   on the default policy the republish cadence must ride incremental
+//!   delta updates, not per-refresh refactorizations.
+//!
+//! Usage: `bench_serve [--quick] [--readers N] [--queries Q]
+//! [--window-us W] [--schema-against PATH]`
+//!
+//! `--schema-against` compares the emitted JSON's key set against a
+//! tracked snapshot and fails on drift (the CI smoke mode).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sgl_bench::{banner, fix, repro_dir, time, Args, Table};
+use sgl_core::{sample_node_pairs, Measurements, SglConfig, SglSession};
+use sgl_linalg::{par, DenseMatrix};
+use sgl_serve::{ServeHandle, ServeOptions, SglServer};
+
+/// Node pairs per resistance query (one micro-batch submission).
+const PAIRS_PER_QUERY: usize = 8;
+/// Distinct query sets in the round-robin pool.
+const QUERY_POOL: usize = 32;
+
+/// One recorded reader response: which query set, which snapshot
+/// version answered, the values, and the end-to-end latency.
+struct Response {
+    set: usize,
+    version: u64,
+    values: Vec<f64>,
+    latency_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pool of deterministic query sets over `n` nodes.
+fn query_pool(n: usize) -> Vec<Vec<(usize, usize)>> {
+    (0..QUERY_POOL)
+        .map(|i| sample_node_pairs(n, PAIRS_PER_QUERY, 0xA11C + i as u64))
+        .collect()
+}
+
+/// Spawn `readers` threads, each issuing `queries` round-robin pool
+/// queries through `handle`, until done (fixed mode) or until `stop`
+/// (churn mode, `queries` as a cap). Returns all recorded responses.
+fn hammer(
+    handle: &ServeHandle,
+    pool: &Arc<Vec<Vec<(usize, usize)>>>,
+    readers: usize,
+    queries: usize,
+    stop: Option<&Arc<AtomicBool>>,
+) -> Vec<Response> {
+    let mut threads = Vec::new();
+    for r in 0..readers {
+        let handle = handle.clone();
+        let pool = Arc::clone(pool);
+        let stop = stop.map(Arc::clone);
+        threads.push(std::thread::spawn(move || {
+            let mut out = Vec::with_capacity(queries.min(4096));
+            for q in 0..queries {
+                if let Some(stop) = &stop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                let set = (q * readers + r) % pool.len();
+                let t0 = Instant::now();
+                let resp = handle.resistances(&pool[set]).expect("resistance query");
+                out.push(Response {
+                    set,
+                    version: resp.version,
+                    values: resp.value,
+                    latency_s: t0.elapsed().as_secs_f64(),
+                });
+            }
+            out
+        }));
+    }
+    threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("reader panicked"))
+        .collect()
+}
+
+/// Latency percentiles (seconds) of a response set.
+fn latencies(responses: &[Response]) -> (f64, f64, f64) {
+    let mut lat: Vec<f64> = responses.iter().map(|r| r.latency_s).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0.0),
+    )
+}
+
+fn json_keys(text: &str) -> Vec<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = text[i + 1..].find('"') {
+                let key = &text[i + 1..i + 1 + end];
+                let rest = text[i + 1 + end + 1..].trim_start();
+                if rest.starts_with(':') {
+                    keys.insert(key.to_string());
+                }
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    keys.into_iter().collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let side: usize = args.get("side", if quick { 20 } else { 40 });
+    let m: usize = args.get("m", if quick { 12 } else { 20 });
+    let queries: usize = args.get("queries", if quick { 40 } else { 120 });
+    let window_us: u64 = args.get("window-us", 200);
+    let max_readers: usize = args.get("readers", if quick { 2 } else { 4 });
+    let reader_counts: Vec<usize> = {
+        let mut counts = vec![1];
+        let mut c = 2;
+        while c <= max_readers {
+            counts.push(c);
+            c *= 2;
+        }
+        counts
+    };
+
+    let truth = sgl_datasets::grid2d(side, side);
+    let n = truth.num_nodes();
+    banner(
+        "BENCH serve",
+        "lock-free snapshot serving: reader throughput, ingest churn, revision cadence",
+        &[
+            ("nodes", n.to_string()),
+            ("M", m.to_string()),
+            ("queries/reader", queries.to_string()),
+            ("reader_counts", format!("{reader_counts:?}")),
+            ("pairs/query", PAIRS_PER_QUERY.to_string()),
+            ("window_us", window_us.to_string()),
+            ("host_cores", par::max_threads().to_string()),
+        ],
+    );
+
+    // Learn the initial model from ~60% of the measurement columns,
+    // under-fitted (small iteration cap) so the streamed remainder keeps
+    // adding edges — the regime the incremental revisions target.
+    let all = Measurements::generate(&truth, m, 7).expect("measurements");
+    let column_batch = |lo: usize, hi: usize| {
+        let cols: Vec<Vec<f64>> = (lo..hi).map(|j| all.voltages().column(j)).collect();
+        Measurements::from_voltages(DenseMatrix::from_columns(&cols)).expect("batch")
+    };
+    let initial_cols = (m * 3) / 5;
+    let config = SglConfig::default().with_tol(0.0).with_max_iterations(6);
+    let mut session =
+        SglSession::from_owned(config, column_batch(0, initial_cols)).expect("session");
+    session.run_to_completion().expect("initial learn");
+
+    let opts = ServeOptions {
+        batch_window: Duration::from_micros(window_us),
+        ..ServeOptions::default()
+    };
+    let server = SglServer::new(session, opts).expect("server");
+    let reader = server.handle();
+    let pool = Arc::new(query_pool(n));
+
+    // ---- Arm 1: fixed snapshot, scaling reader counts -------------------
+    let v0 = reader.snapshot();
+    assert_eq!(v0.version(), 0);
+    let canonical_v0: Vec<Vec<f64>> = pool
+        .iter()
+        .map(|pairs| v0.resistances(pairs).expect("canonical answers"))
+        .collect();
+
+    let mut table = Table::new(&["readers", "queries", "qps", "p50_ms", "p99_ms", "wall_s"]);
+    let mut fixed_rows = Vec::new();
+    for &readers in &reader_counts {
+        let (responses, wall_s) = time(|| hammer(&reader, &pool, readers, queries, None));
+        for resp in &responses {
+            assert_eq!(resp.version, 0, "fixed-snapshot query left version 0");
+            assert_eq!(
+                resp.values, canonical_v0[resp.set],
+                "response drifted from canonical at {} readers",
+                readers
+            );
+        }
+        let (p50, p99, _max) = latencies(&responses);
+        let qps = responses.len() as f64 / wall_s;
+        table.row(&[
+            readers.to_string(),
+            responses.len().to_string(),
+            fix(qps, 1),
+            fix(p50 * 1e3, 3),
+            fix(p99 * 1e3, 3),
+            fix(wall_s, 3),
+        ]);
+        fixed_rows.push((readers, responses.len(), qps, p50, p99, wall_s));
+    }
+    println!("\nfixed snapshot (v0), bit-identical at every reader count ✓");
+    table.print();
+
+    // ---- Arm 2: readers hammer through ingest + publishes ---------------
+    // Canonical answers are captured per published version from pinned
+    // snapshots; every concurrent response must match the canonical set
+    // of exactly the version that answered it.
+    let churn_readers = *reader_counts.last().expect("non-empty");
+    let ingest_batches = 3usize;
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_handle = reader.clone();
+    let churn_pool = Arc::clone(&pool);
+    let churn_stop = Arc::clone(&stop);
+    let churn = std::thread::spawn(move || {
+        hammer(
+            &churn_handle,
+            &churn_pool,
+            churn_readers,
+            usize::MAX / 2,
+            Some(&churn_stop),
+        )
+    });
+
+    let mut canonical: Vec<Vec<Vec<f64>>> = vec![canonical_v0];
+    let cols_left = m - initial_cols;
+    let per_batch = cols_left / ingest_batches;
+    let (_, churn_wall) = time(|| {
+        for b in 0..ingest_batches {
+            let lo = initial_cols + b * per_batch;
+            let hi = if b + 1 == ingest_batches {
+                m
+            } else {
+                lo + per_batch
+            };
+            server.ingest(column_batch(lo, hi)).expect("ingest");
+            server.flush().expect("flush");
+            let snap = reader.snapshot();
+            canonical.push(
+                pool.iter()
+                    .map(|pairs| snap.resistances(pairs).expect("canonical answers"))
+                    .collect(),
+            );
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    let churn_responses = churn.join().expect("churn readers panicked");
+
+    let mut versions_observed = std::collections::BTreeSet::new();
+    for resp in &churn_responses {
+        let v = resp.version as usize;
+        assert!(v < canonical.len(), "response from unpublished version {v}");
+        versions_observed.insert(resp.version);
+        assert_eq!(
+            resp.values, canonical[v][resp.set],
+            "torn read: response does not match canonical answers of version {v}"
+        );
+    }
+    let (churn_p50, churn_p99, churn_max) = latencies(&churn_responses);
+    let stats = server.stats();
+    assert_eq!(stats.snapshots_published as usize, ingest_batches);
+    println!(
+        "\ningest churn: {} responses across versions {:?} while publishing {} snapshots, \
+         every response consistent with exactly one snapshot ✓",
+        churn_responses.len(),
+        versions_observed,
+        stats.snapshots_published,
+    );
+    println!(
+        "  latency p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms over {:.3} s of ingest",
+        churn_p50 * 1e3,
+        churn_p99 * 1e3,
+        churn_max * 1e3,
+        churn_wall,
+    );
+
+    // ---- Arm 3: revision cadence on the default policy ------------------
+    let final_snap = reader.snapshot();
+    let rev = final_snap.revision_stats();
+    let publishes = stats.snapshots_published as usize;
+    assert!(
+        rev.delta_updates >= 1,
+        "default-policy republish cadence never took the delta-update path: {rev:?}"
+    );
+    assert!(
+        rev.handles_built < publishes + 1,
+        "every publish refactorized ({} builds for {} publishes): {rev:?}",
+        rev.handles_built,
+        publishes
+    );
+    println!(
+        "\nrevisions: {} publishes rode {} delta updates (rank {}) on {} full builds ✓",
+        publishes, rev.delta_updates, rev.delta_rank_applied, rev.handles_built
+    );
+
+    // Hand-rolled JSON (no serde in the offline image).
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+    json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
+    json.push_str(&format!(
+        "  \"args\": \"side={side} m={m} queries={queries} readers={max_readers} \
+         window_us={window_us} quick={quick}\",\n"
+    ));
+    json.push_str(&format!("  \"nodes\": {n},\n"));
+    json.push_str(&format!("  \"pairs_per_query\": {PAIRS_PER_QUERY},\n"));
+    json.push_str("  \"fixed_snapshot\": [\n");
+    for (i, (readers, count, qps, p50, p99, wall_s)) in fixed_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"readers\": {}, \"queries\": {}, \"qps\": {:.3}, \
+             \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"wall_s\": {:.9}, \
+             \"version\": 0, \"bit_identical\": true}}{}\n",
+            readers,
+            count,
+            qps,
+            p50 * 1e3,
+            p99 * 1e3,
+            wall_s,
+            if i + 1 < fixed_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"ingest_churn\": {{\"readers\": {}, \"responses\": {}, \
+         \"versions_observed\": {}, \"snapshots_published\": {}, \
+         \"measurements_ingested\": {}, \"churn_wall_s\": {:.9}, \
+         \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \"max_ms\": {:.6}, \
+         \"consistent\": true}},\n",
+        churn_readers,
+        churn_responses.len(),
+        versions_observed.len(),
+        stats.snapshots_published,
+        stats.measurements_ingested,
+        churn_wall,
+        churn_p50 * 1e3,
+        churn_p99 * 1e3,
+        churn_max * 1e3,
+    ));
+    json.push_str(&format!(
+        "  \"revision\": {{\"publishes\": {}, \"handles_built\": {}, \
+         \"delta_updates\": {}, \"delta_rank_applied\": {}, \
+         \"refreshes_forced\": {}, \"delta_path_on_default_arm\": true}},\n",
+        publishes,
+        rev.handles_built,
+        rev.delta_updates,
+        rev.delta_rank_applied,
+        rev.refreshes_on_rank + rev.refreshes_on_iters + rev.refreshes_on_numeric,
+    ));
+    json.push_str(&format!(
+        "  \"serve_stats\": {{\"queries_answered\": {}, \"batches_executed\": {}, \
+         \"requests_coalesced\": {}, \"rhs_columns_solved\": {}, \
+         \"largest_batch\": {}}}\n}}\n",
+        stats.queries_answered,
+        stats.batches_executed,
+        stats.requests_coalesced,
+        stats.rhs_columns_solved,
+        stats.largest_batch,
+    ));
+
+    let path = repro_dir().join("BENCH_serve.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("\nwrote {}", path.display());
+
+    // Schema drift check against the tracked snapshot (CI smoke mode).
+    if let Some(tracked) = {
+        let flag = args.get("schema-against", String::new());
+        (!flag.is_empty()).then_some(flag)
+    } {
+        let snapshot = std::fs::read_to_string(&tracked)
+            .unwrap_or_else(|e| panic!("cannot read tracked snapshot {tracked}: {e}"));
+        let expect = json_keys(&snapshot);
+        let got = json_keys(&json);
+        assert_eq!(
+            got, expect,
+            "BENCH_serve.json schema drifted from the tracked snapshot {tracked}; \
+             regenerate and commit it alongside the change"
+        );
+        println!("schema matches tracked snapshot {tracked} ✓");
+    }
+}

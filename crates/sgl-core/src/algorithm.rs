@@ -38,6 +38,50 @@ pub struct IterationRecord {
     pub lambda2: f64,
 }
 
+/// Why a learning run stopped — the stopping-rule verdict behind the
+/// bare [`LearnResult::converged`] flag.
+///
+/// `converged: false` alone cannot distinguish "hit the iteration cap"
+/// from "ran out of candidates"; this enum records the actual halt site
+/// of the densification loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopVerdict {
+    /// The stopping rule fired: `s_max` dropped below tolerance.
+    Converged,
+    /// The per-epoch iteration cap (`max_iterations`) was hit first.
+    MaxIterations,
+    /// The candidate pool ran dry before the stopping rule fired.
+    /// [`LearnResult::converged`] tells whether the last observed
+    /// `s_max` was already below tolerance when it happened.
+    CandidatesExhausted,
+    /// `s_max` was still above tolerance but no candidate cleared the
+    /// selection threshold — the numerical corner the loop treats as
+    /// converged to avoid spinning.
+    Stalled,
+    /// The loop never halted; [`SglSession::finish`] was called on a
+    /// still-running session.
+    InProgress,
+}
+
+impl StopVerdict {
+    /// Stable kebab-case label (for logs, traces, and bench rows).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopVerdict::Converged => "converged",
+            StopVerdict::MaxIterations => "max-iterations",
+            StopVerdict::CandidatesExhausted => "candidates-exhausted",
+            StopVerdict::Stalled => "stalled",
+            StopVerdict::InProgress => "in-progress",
+        }
+    }
+}
+
+impl std::fmt::Display for StopVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The outcome of a learning run.
 #[derive(Debug, Clone)]
 pub struct LearnResult {
@@ -50,6 +94,8 @@ pub struct LearnResult {
     /// Whether `s_max < tol` was reached (vs. hitting the iteration cap
     /// or exhausting candidates).
     pub converged: bool,
+    /// Why the loop stopped (the halt site behind the `converged` flag).
+    pub stop_verdict: StopVerdict,
     /// Edge-scaling factor applied in Step 5 (`None` if skipped).
     pub scale_factor: Option<f64>,
     /// The final spectral embedding of the learned graph.

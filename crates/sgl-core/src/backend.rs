@@ -27,7 +27,15 @@ use sgl_linalg::{DenseMatrix, SymEig};
 use sgl_solver::SolverContext;
 
 /// Step 2: compute the spectral embedding `U_r` of the current graph.
-pub trait EmbeddingBackend: std::fmt::Debug {
+///
+/// All stage traits ([`EmbeddingBackend`], [`CandidateScorer`],
+/// [`StoppingRule`], [`EdgeScaler`]) are `Send + Sync`: a session owns
+/// its backends as boxed trait objects, and a whole
+/// [`SglSession`](crate::session::SglSession) must be movable into a
+/// writer thread (the streaming-ingest path of `sgl-serve`). Backends
+/// hold prepared, immutable state — per-call scratch belongs in the call,
+/// not the struct.
+pub trait EmbeddingBackend: std::fmt::Debug + Send + Sync {
     /// Short human-readable backend name (for traces and logs).
     fn name(&self) -> &'static str;
 
@@ -157,7 +165,7 @@ impl EmbeddingBackend for DenseEigBackend {
 }
 
 /// Step 3: score the candidate pool under the current embedding.
-pub trait CandidateScorer: std::fmt::Debug {
+pub trait CandidateScorer: std::fmt::Debug + Send + Sync {
     /// One score per remaining candidate, aligned with
     /// [`CandidatePool::candidates`]. Higher = more influential; the
     /// session adds the top `⌈Nβ⌉` scores above tolerance.
@@ -183,7 +191,7 @@ impl CandidateScorer for SpectralGradientScorer {
 /// ([`selection_tol`](StoppingRule::selection_tol)) — so swapping the
 /// rule on a session changes the whole convergence behavior, with no
 /// hidden second threshold.
-pub trait StoppingRule: std::fmt::Debug {
+pub trait StoppingRule: std::fmt::Debug + Send + Sync {
     /// Called once per iteration with the 1-based iteration number and
     /// the maximum candidate score; `true` ends the loop as converged.
     fn is_converged(&self, iteration: usize, smax: f64) -> bool;
@@ -211,7 +219,7 @@ impl StoppingRule for SensitivityThreshold {
 }
 
 /// Step 5: rescale the learned graph's weights against the measurements.
-pub trait EdgeScaler: std::fmt::Debug {
+pub trait EdgeScaler: std::fmt::Debug + Send + Sync {
     /// Scale `graph` in place, returning the applied factor (`None` when
     /// the step is skipped, e.g. for voltage-only measurements). `ctx`
     /// is the session's shared solver context; a scaler that mutates

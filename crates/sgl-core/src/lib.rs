@@ -71,7 +71,7 @@ pub mod scaling;
 pub mod sensitivity;
 pub mod session;
 
-pub use algorithm::{IterationRecord, LearnResult, Sgl};
+pub use algorithm::{IterationRecord, LearnResult, Sgl, StopVerdict};
 pub use backend::{
     CandidateScorer, DenseEigBackend, EdgeScaler, EmbeddingBackend, LanczosBackend, NoScaler,
     SensitivityThreshold, SpectralGradientScorer, SpectralScaler, StoppingRule,

@@ -47,7 +47,13 @@ pub enum ResistanceMethod {
 }
 
 /// A prepared effective-resistance oracle for one fixed graph.
-pub trait ResistanceEstimator: std::fmt::Debug {
+///
+/// Estimators are immutable once built and `Send + Sync`: one estimator
+/// (boxed or `Arc`-shared) can serve queries from many reader threads
+/// concurrently without a mutex — the serving layer (`sgl-serve`) relies
+/// on this to answer resistance queries lock-free against a published
+/// snapshot.
+pub trait ResistanceEstimator: std::fmt::Debug + Send + Sync {
     /// Short strategy name (for logs and traces).
     fn name(&self) -> &'static str;
 

@@ -35,7 +35,7 @@
 //! # Ok::<(), sgl_core::SglError>(())
 //! ```
 
-use crate::algorithm::{IterationRecord, LearnResult};
+use crate::algorithm::{IterationRecord, LearnResult, StopVerdict};
 use crate::backend::{
     CandidateScorer, EdgeScaler, EmbeddingBackend, LanczosBackend, SensitivityThreshold,
     SpectralGradientScorer, SpectralScaler, StoppingRule,
@@ -77,7 +77,11 @@ pub enum StepOutcome {
 /// Observer of a running session. Implemented for any
 /// `FnMut(&IterationRecord)` closure; implement the trait directly when
 /// you also want the finish notification.
-pub trait SessionObserver {
+///
+/// Observers are `Send` (like the stage backends) so a session carrying
+/// them can be moved into a writer thread; share results back through
+/// `Arc<Mutex<…>>` or a channel sender rather than `Rc<RefCell<…>>`.
+pub trait SessionObserver: Send {
     /// Called exactly once per trace record, as it is produced.
     fn on_iteration(&mut self, record: &IterationRecord);
 
@@ -85,7 +89,7 @@ pub trait SessionObserver {
     fn on_finish(&mut self, _result: &LearnResult) {}
 }
 
-impl<F: FnMut(&IterationRecord)> SessionObserver for F {
+impl<F: FnMut(&IterationRecord) + Send> SessionObserver for F {
     fn on_iteration(&mut self, record: &IterationRecord) {
         self(record)
     }
@@ -119,6 +123,9 @@ pub struct SglSession<'m> {
     knn_candidates: bool,
     converged: bool,
     halted: bool,
+    /// Which halt site ended the loop ([`StopVerdict::InProgress`] while
+    /// running).
+    verdict: StopVerdict,
     /// The session-owned solve layer: one policy-built handle per
     /// learned-graph revision, shared by every stage and invalidated on
     /// edge insertion.
@@ -155,6 +162,28 @@ impl<'m> SglSession<'m> {
     /// # Errors
     /// Returns configuration/measurement validation errors.
     pub fn new(config: SglConfig, measurements: &'m Measurements) -> Result<Self, SglError> {
+        Self::new_from_cow(config, Cow::Borrowed(measurements))
+    }
+
+    /// Like [`SglSession::new`], but taking ownership of the
+    /// measurements, which unties the session from any borrow: the
+    /// returned `SglSession<'static>` can be moved into another thread —
+    /// the handoff a long-lived serving task (`sgl-serve`'s writer loop)
+    /// needs, where the session must outlive the scope that created it.
+    ///
+    /// # Errors
+    /// See [`SglSession::new`].
+    pub fn from_owned(
+        config: SglConfig,
+        measurements: Measurements,
+    ) -> Result<SglSession<'static>, SglError> {
+        SglSession::new_from_cow(config, Cow::Owned(measurements))
+    }
+
+    fn new_from_cow(
+        config: SglConfig,
+        measurements: Cow<'m, Measurements>,
+    ) -> Result<Self, SglError> {
         config.validate()?;
         let n = measurements.num_nodes();
         if n < 4 {
@@ -165,7 +194,7 @@ impl<'m> SglSession<'m> {
         let knn_graph = with_session_threads(config.parallelism, || {
             build_knn_graph(measurements.voltages(), &config.knn_graph_config())
         });
-        let mut session = Self::with_candidate_graph(config, measurements, knn_graph)?;
+        let mut session = Self::init(config, measurements, knn_graph)?;
         session.knn_candidates = true;
         Ok(session)
     }
@@ -179,6 +208,14 @@ impl<'m> SglSession<'m> {
     pub fn with_candidate_graph(
         config: SglConfig,
         measurements: &'m Measurements,
+        knn_graph: Graph,
+    ) -> Result<Self, SglError> {
+        Self::init(config, Cow::Borrowed(measurements), knn_graph)
+    }
+
+    fn init(
+        config: SglConfig,
+        measurements: Cow<'m, Measurements>,
         knn_graph: Graph,
     ) -> Result<Self, SglError> {
         config.validate()?;
@@ -196,12 +233,12 @@ impl<'m> SglSession<'m> {
         }
         let tree = maximum_spanning_tree(&knn_graph);
         let graph = tree.to_graph(&knn_graph);
-        let pool = CandidatePool::from_off_tree(&knn_graph, &tree, measurements);
+        let pool = CandidatePool::from_off_tree(&knn_graph, &tree, &measurements);
         let tol = config.tol;
         let solver = SolverContext::new(config.solver.clone());
         Ok(SglSession {
             config,
-            measurements: Cow::Borrowed(measurements),
+            measurements,
             knn_graph,
             graph,
             pool,
@@ -212,6 +249,7 @@ impl<'m> SglSession<'m> {
             knn_candidates: false,
             converged: false,
             halted: false,
+            verdict: StopVerdict::InProgress,
             solver,
             backend: Box::new(LanczosBackend),
             scorer: Box::new(SpectralGradientScorer),
@@ -332,6 +370,43 @@ impl<'m> SglSession<'m> {
         self.converged
     }
 
+    /// Why the loop halted ([`StopVerdict::InProgress`] while running).
+    pub fn stop_verdict(&self) -> StopVerdict {
+        self.verdict
+    }
+
+    /// The spectral embedding of the *current* learned graph, computing
+    /// it if no step has cached one yet — the read-side half of handing a
+    /// running session off into an immutable serving snapshot
+    /// (`sgl-serve`), alongside [`solver_handle`](SglSession::solver_handle)
+    /// and [`resistance_estimator`](SglSession::resistance_estimator).
+    ///
+    /// # Errors
+    /// Propagates embedding/solver failures.
+    pub fn current_embedding(&mut self) -> Result<&Embedding, SglError> {
+        let parallelism = self.config.parallelism;
+        with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
+        Ok(self.embedding.as_ref().expect("embedding just ensured"))
+    }
+
+    /// A shared, read-only solver handle for the current learned-graph
+    /// revision, drawn from the session's context (built or incrementally
+    /// corrected on demand). The `Arc` stays valid — and keeps serving
+    /// the revision it was built for — even after the session steps on:
+    /// later `apply_deltas` copy-on-write the operator instead of
+    /// mutating it under a live reader.
+    ///
+    /// # Errors
+    /// Propagates solver construction failures.
+    pub fn solver_handle(
+        &mut self,
+    ) -> Result<std::sync::Arc<dyn sgl_solver::SolverHandle>, SglError> {
+        let parallelism = self.config.parallelism;
+        with_session_threads(parallelism, || {
+            self.solver.handle_for(&self.graph).map_err(SglError::from)
+        })
+    }
+
     fn embedding_width(&self) -> usize {
         let n = self.measurements.num_nodes();
         (self.config.r - 1).min(n.saturating_sub(2)).max(1)
@@ -399,6 +474,7 @@ impl<'m> SglSession<'m> {
         }
         if self.epoch_iterations >= self.config.max_iterations {
             self.halted = true;
+            self.verdict = StopVerdict::MaxIterations;
             return Ok(StepOutcome::CapReached);
         }
         self.epoch_iterations += 1;
@@ -419,6 +495,7 @@ impl<'m> SglSession<'m> {
                 None => true,
             };
             self.halted = true;
+            self.verdict = StopVerdict::CandidatesExhausted;
             return Ok(StepOutcome::Exhausted {
                 converged: self.converged,
             });
@@ -435,6 +512,7 @@ impl<'m> SglSession<'m> {
             let record = self.push_record(smax, 0);
             self.converged = true;
             self.halted = true;
+            self.verdict = StopVerdict::Converged;
             return Ok(StepOutcome::Converged(record));
         }
 
@@ -459,9 +537,11 @@ impl<'m> SglSession<'m> {
         let record = self.push_record(smax, added);
         if added == 0 {
             // smax ≥ tol but nothing selectable: numerical corner, treat
-            // as converged to avoid spinning.
+            // as converged to avoid spinning (the verdict records the
+            // stall so the flag is not mistaken for a clean rule firing).
             self.converged = true;
             self.halted = true;
+            self.verdict = StopVerdict::Stalled;
             return Ok(StepOutcome::Converged(record));
         }
 
@@ -521,6 +601,7 @@ impl<'m> SglSession<'m> {
         self.epoch_start = self.trace.len();
         self.converged = false;
         self.halted = false;
+        self.verdict = StopVerdict::InProgress;
         Ok(self.pool.len())
     }
 
@@ -557,6 +638,7 @@ impl<'m> SglSession<'m> {
             knn_graph: self.knn_graph,
             trace: self.trace,
             converged: self.converged,
+            stop_verdict: self.verdict,
             scale_factor,
             embedding: self.embedding.expect("embedding ensured above"),
             solver_stats: self.solver.cumulative_stats(),
@@ -586,8 +668,7 @@ mod tests {
     use crate::algorithm::Sgl;
     use crate::backend::{DenseEigBackend, NoScaler};
     use sgl_datasets::grid2d;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn quick_config() -> SglConfig {
         SglConfig::default().with_tol(1e-6).with_max_iterations(100)
@@ -630,14 +711,83 @@ mod tests {
     fn observer_sees_every_trace_record() {
         let truth = grid2d(8, 8);
         let meas = Measurements::generate(&truth, 20, 12).unwrap();
-        let seen: Rc<RefCell<Vec<IterationRecord>>> = Rc::default();
-        let sink = Rc::clone(&seen);
+        // Observers are `Send`, so the sink is an Arc<Mutex<…>> (an
+        // Rc<RefCell<…>> no longer compiles — by design).
+        let seen: Arc<Mutex<Vec<IterationRecord>>> = Arc::default();
+        let sink = Arc::clone(&seen);
         let mut session = SglSession::new(quick_config(), &meas).unwrap();
-        session.observe(move |r: &IterationRecord| sink.borrow_mut().push(*r));
+        session.observe(move |r: &IterationRecord| sink.lock().unwrap().push(*r));
         session.run_to_completion().unwrap();
         let result = session.finish().unwrap();
         assert!(!result.trace.is_empty());
-        assert_eq!(&*seen.borrow(), &result.trace);
+        assert_eq!(&*seen.lock().unwrap(), &result.trace);
+    }
+
+    #[test]
+    fn session_and_estimator_are_send() {
+        // The serving handoff contract: a whole session (with its boxed
+        // stage backends and observers) moves into a writer thread, and
+        // a boxed estimator is shared across reader threads.
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<SglSession<'static>>();
+        assert_send_sync::<Box<dyn ResistanceEstimator>>();
+    }
+
+    #[test]
+    fn owned_session_moves_across_threads() {
+        let truth = grid2d(6, 6);
+        let meas = Measurements::generate(&truth, 12, 31).unwrap();
+        let borrowed = SglSession::new(quick_config(), &meas)
+            .unwrap()
+            .run()
+            .unwrap();
+        let session = SglSession::from_owned(quick_config(), meas).unwrap();
+        // An owned session is 'static: hand it to a thread wholesale.
+        let result = std::thread::spawn(move || session.run().unwrap())
+            .join()
+            .unwrap();
+        // Ownership changes nothing about the learned graph.
+        assert_eq!(result.graph.num_edges(), borrowed.graph.num_edges());
+        for (a, b) in result.graph.edges().iter().zip(borrowed.graph.edges()) {
+            assert_eq!((a.u, a.v, a.weight), (b.u, b.v, b.weight));
+        }
+        assert_eq!(result.trace, borrowed.trace);
+    }
+
+    #[test]
+    fn stop_verdict_reports_halt_site() {
+        let truth = grid2d(8, 8);
+        let meas = Measurements::generate(&truth, 20, 13).unwrap();
+
+        // Iteration cap.
+        let mut capped = SglSession::new(quick_config().with_max_iterations(1), &meas).unwrap();
+        capped.step().unwrap();
+        capped.step().unwrap();
+        assert_eq!(capped.stop_verdict(), StopVerdict::MaxIterations);
+        let r = capped.finish().unwrap();
+        assert_eq!(r.stop_verdict, StopVerdict::MaxIterations);
+        assert!(!r.converged);
+
+        // Convergence (or candidate exhaustion below tolerance) on a
+        // full run; either way the verdict agrees with the flag.
+        let full = SglSession::new(quick_config(), &meas)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(matches!(
+            full.stop_verdict,
+            StopVerdict::Converged | StopVerdict::CandidatesExhausted
+        ));
+        assert!(full.converged);
+
+        // Finishing a never-stepped session: still in progress.
+        let meas2 = Measurements::generate(&truth, 20, 14).unwrap();
+        let idle = SglSession::new(quick_config(), &meas2).unwrap();
+        assert_eq!(idle.stop_verdict(), StopVerdict::InProgress);
+        let r = idle.finish().unwrap();
+        assert_eq!(r.stop_verdict, StopVerdict::InProgress);
+        assert_eq!(r.stop_verdict.as_str(), "in-progress");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! `MicroBatcher`: coalesces concurrent solve-backed queries into
+//! single `solve_batch` fan-outs.
+//!
+//! Resistance and interpolation queries each cost one Laplacian solve
+//! per pair / injection vector. When many reader threads ask at once,
+//! issuing those solves one query at a time wastes the batch entry
+//! point of [`SolverHandle`](sgl_solver::SolverHandle) (and, through
+//! it, the parallel layer's fan-out across right-hand sides). The
+//! batcher holds a short collection window: the first submitter becomes
+//! the *leader*, sleeps out the window while followers append to the
+//! queue, then drains the whole queue and answers it with a handful of
+//! batched solves against **one** snapshot load — so every request in
+//! a batch is served by exactly the same graph version, never a mix.
+//!
+//! Correctness is free: `solve_batch` solves each right-hand side
+//! independently, so coalescing never changes any individual answer
+//! (the contract `tests/parallel_equivalence.rs` pins down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::epoch::SnapshotCell;
+use crate::snapshot::GraphSnapshot;
+use crate::ServeError;
+
+/// A query payload routed through the batcher.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// Effective resistances for node pairs (one solve column per pair).
+    Resistances(Vec<(usize, usize)>),
+    /// Voltage interpolation for injection vectors (one column each).
+    Interpolate(Vec<Vec<f64>>),
+}
+
+/// The matching reply shapes.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    Resistances(Vec<f64>),
+    Interpolated(Vec<Vec<f64>>),
+}
+
+#[derive(Debug)]
+struct Pending {
+    payload: Payload,
+    reply: mpsc::Sender<Result<(u64, Reply), ServeError>>,
+}
+
+/// Counters describing how much coalescing actually happened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Batches flushed (leader drains).
+    pub batches: u64,
+    /// Requests that shared a batch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Right-hand-side columns pushed through `solve_batch`.
+    pub rhs_columns: u64,
+    /// Most requests ever drained in one flush.
+    pub largest_batch: u64,
+}
+
+/// Leader/follower micro-batcher (see the [module docs](self)).
+#[derive(Debug)]
+pub(crate) struct MicroBatcher {
+    window: Duration,
+    max_batch: usize,
+    queue: Mutex<Vec<Pending>>,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    rhs_columns: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+impl MicroBatcher {
+    pub(crate) fn new(window: Duration, max_batch: usize) -> Self {
+        MicroBatcher {
+            window,
+            max_batch: max_batch.max(1),
+            queue: Mutex::new(Vec::new()),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            rhs_columns: AtomicU64::new(0),
+            largest_batch: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced.load(Ordering::Relaxed),
+            rhs_columns: self.rhs_columns.load(Ordering::Relaxed),
+            largest_batch: self.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit one query and block until its reply. The first thread to
+    /// find the queue empty leads the flush for everyone who joins
+    /// during the window.
+    pub(crate) fn submit(
+        &self,
+        cell: &SnapshotCell<GraphSnapshot>,
+        payload: Payload,
+    ) -> Result<(u64, Reply), ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let leader = {
+            let mut queue = self.queue.lock().unwrap();
+            queue.push(Pending { payload, reply: tx });
+            queue.len() == 1
+        };
+        if leader {
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
+            }
+            let batch = std::mem::take(&mut *self.queue.lock().unwrap());
+            self.execute(cell, batch);
+        }
+        // The leader answered itself through its own channel too.
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Answer a drained batch against one snapshot load.
+    fn execute(&self, cell: &SnapshotCell<GraphSnapshot>, batch: Vec<Pending>) {
+        let (version, snap) = cell.load();
+        let n = snap.num_nodes();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.largest_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        if batch.len() > 1 {
+            self.coalesced
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+
+        // Validate per request; invalid ones get individual errors and
+        // are excluded so they cannot poison the shared solves. Valid
+        // ones contribute their columns to one union per payload kind.
+        let mut res_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut res_slots: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut interp_rhs: Vec<Vec<f64>> = Vec::new();
+        let mut interp_slots: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut replies: Vec<Option<Result<(u64, Reply), ServeError>>> =
+            batch.iter().map(|_| None).collect();
+
+        for (i, pending) in batch.iter().enumerate() {
+            match &pending.payload {
+                Payload::Resistances(pairs) => {
+                    if let Some(err) = pairs
+                        .iter()
+                        .find_map(|&(s, t)| validate_pair(n, s, t).err())
+                    {
+                        replies[i] = Some(Err(err));
+                    } else {
+                        let start = res_pairs.len();
+                        res_pairs.extend_from_slice(pairs);
+                        res_slots.push((i, start..res_pairs.len()));
+                    }
+                }
+                Payload::Interpolate(vecs) => {
+                    if let Some(bad) = vecs.iter().find(|b| b.len() != n) {
+                        replies[i] = Some(Err(ServeError::BadQuery(format!(
+                            "injection vector has {} entries; graph has {n} nodes",
+                            bad.len()
+                        ))));
+                    } else {
+                        let start = interp_rhs.len();
+                        interp_rhs.extend(vecs.iter().cloned());
+                        interp_slots.push((i, start..interp_rhs.len()));
+                    }
+                }
+            }
+        }
+
+        self.rhs_columns.fetch_add(
+            (res_pairs.len() + interp_rhs.len()) as u64,
+            Ordering::Relaxed,
+        );
+
+        // One chunked fan-out per payload kind; a solver-level failure
+        // is replicated to every request that contributed to the union.
+        let res_values = self.chunked(&res_pairs, |chunk| snap.resistances(chunk));
+        match res_values {
+            Ok(values) => {
+                for (i, range) in res_slots {
+                    replies[i] = Some(Ok((version, Reply::Resistances(values[range].to_vec()))));
+                }
+            }
+            Err(e) => {
+                for (i, _) in res_slots {
+                    replies[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+        let interp_values = self.chunked(&interp_rhs, |chunk| snap.interpolate_batch(chunk));
+        match interp_values {
+            Ok(values) => {
+                for (i, range) in interp_slots {
+                    replies[i] = Some(Ok((version, Reply::Interpolated(values[range].to_vec()))));
+                }
+            }
+            Err(e) => {
+                for (i, _) in interp_slots {
+                    replies[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+
+        for (pending, reply) in batch.into_iter().zip(replies) {
+            let reply = reply.expect("every request got a verdict");
+            // A vanished receiver just means the caller gave up waiting.
+            let _ = pending.reply.send(reply);
+        }
+    }
+
+    /// Run `op` over `items` in `max_batch`-sized chunks, concatenating
+    /// the results. Chunk boundaries cannot change answers: every column
+    /// is solved independently.
+    fn chunked<I: Clone, O>(
+        &self,
+        items: &[I],
+        mut op: impl FnMut(&[I]) -> Result<Vec<O>, ServeError>,
+    ) -> Result<Vec<O>, ServeError> {
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(self.max_batch) {
+            out.extend(op(chunk)?);
+        }
+        Ok(out)
+    }
+}
+
+fn validate_pair(n: usize, s: usize, t: usize) -> Result<(), ServeError> {
+    if s >= n || t >= n {
+        return Err(ServeError::BadQuery(format!(
+            "pair ({s}, {t}) out of range for {n}-node snapshot"
+        )));
+    }
+    if s == t {
+        return Err(ServeError::BadQuery(format!(
+            "pair ({s}, {t}) is degenerate; effective resistance needs two distinct nodes"
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,493 @@
+//! [`SglServer`]: the read/write split around a learned graph.
+//!
+//! One writer thread owns the [`SglSession`] and consumes streamed
+//! measurement batches; any number of cheap, cloneable [`ServeHandle`]s
+//! answer queries against the latest published [`GraphSnapshot`]. A
+//! publish is an `Arc` swap through the
+//! [`SnapshotCell`] — readers never block on
+//! the writer, and a refresh costs the session's incremental solver
+//! revision (a rank-`r` delta update through
+//! [`SolverContext::apply_deltas`](sgl_solver::SolverContext)), not a
+//! refactorization.
+//!
+//! Lifecycle: [`SglServer::new`] takes ownership of a prepared session
+//! (use [`SglSession::from_owned`] for a `'static` one), cuts snapshot
+//! version 0, and spawns the writer. [`SglServer::ingest`] queues a
+//! measurement batch; the writer extends the session, runs a bounded
+//! number of refinement sweeps, and publishes the refreshed snapshot.
+//! [`SglServer::shutdown`] drains the writer and hands the session back
+//! out, ready for [`SglSession::finish`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sgl_core::{Measurements, SglSession};
+use sgl_solver::RevisionStats;
+
+use crate::batch::{MicroBatcher, Payload, Reply};
+use crate::epoch::SnapshotCell;
+use crate::snapshot::GraphSnapshot;
+use crate::ServeError;
+
+/// Tunables for a serving instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// k for the snapshot's embedding clustering (clamped to node count).
+    pub clusters: usize,
+    /// Refinement sweeps ([`SglSession::step`]) per ingested batch.
+    pub refresh_iters: usize,
+    /// Micro-batch collection window. Zero flushes immediately (each
+    /// leader still coalesces whatever queued while it held the lock).
+    pub batch_window: Duration,
+    /// Max right-hand-side columns per `solve_batch` call.
+    pub max_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            clusters: 4,
+            refresh_iters: 4,
+            batch_window: Duration::from_micros(200),
+            max_batch: 64,
+        }
+    }
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Version of the currently served snapshot.
+    pub version: u64,
+    /// Snapshots published after the initial one.
+    pub snapshots_published: u64,
+    /// Measurement columns absorbed via ingest.
+    pub measurements_ingested: u64,
+    /// Queries answered across all handles.
+    pub queries_answered: u64,
+    /// Micro-batch flushes executed.
+    pub batches_executed: u64,
+    /// Requests that shared a flush with at least one other request.
+    pub requests_coalesced: u64,
+    /// Right-hand-side columns pushed through batched solves.
+    pub rhs_columns_solved: u64,
+    /// Most requests drained in a single flush.
+    pub largest_batch: u64,
+    /// The session solver context's revision counters at the last
+    /// publish — shows delta updates vs. full refactorizations.
+    pub revision: RevisionStats,
+}
+
+/// A query answer tagged with the snapshot version that produced it.
+///
+/// Every value inside one response is internally consistent: it was
+/// computed against exactly one [`GraphSnapshot`], never a mix of a
+/// pre- and post-publish graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse<T> {
+    /// The snapshot version that answered.
+    pub version: u64,
+    /// The answer.
+    pub value: T,
+}
+
+enum WriterMsg {
+    Ingest(Measurements),
+    Flush(mpsc::Sender<()>),
+}
+
+struct Shared {
+    cell: SnapshotCell<GraphSnapshot>,
+    batcher: MicroBatcher,
+    queries: AtomicU64,
+    snapshots_published: AtomicU64,
+    measurements_ingested: AtomicU64,
+}
+
+/// The serving instance: owns the writer thread, hands out read handles.
+#[derive(Debug)]
+pub struct SglServer {
+    shared: Arc<Shared>,
+    ingest_tx: Option<mpsc::Sender<WriterMsg>>,
+    writer: Option<JoinHandle<Result<SglSession<'static>, ServeError>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("cell", &self.cell)
+            .field("queries", &self.queries.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SglServer {
+    /// Snapshot the session as version 0 and start serving.
+    ///
+    /// The session must own its measurements (`SglSession<'static>`,
+    /// from [`SglSession::from_owned`]) so it can move into the writer
+    /// thread.
+    ///
+    /// # Errors
+    /// Propagates snapshot construction failures.
+    pub fn new(
+        mut session: SglSession<'static>,
+        opts: ServeOptions,
+    ) -> Result<SglServer, ServeError> {
+        let initial = GraphSnapshot::from_session(&mut session, opts.clusters, 0)?;
+        let shared = Arc::new(Shared {
+            cell: SnapshotCell::new(Arc::new(initial)),
+            batcher: MicroBatcher::new(opts.batch_window, opts.max_batch),
+            queries: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            measurements_ingested: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("sgl-serve-writer".into())
+            .spawn(move || writer_loop(session, writer_shared, opts, rx))
+            .map_err(|e| ServeError::Sgl(format!("failed to spawn writer thread: {e}")))?;
+        Ok(SglServer {
+            shared,
+            ingest_tx: Some(tx),
+            writer: Some(writer),
+        })
+    }
+
+    /// A cheap, cloneable, `Send` read handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Queue a measurement batch for the writer. Returns as soon as the
+    /// batch is enqueued; the refreshed snapshot appears asynchronously
+    /// (use [`flush`](Self::flush) to wait for it).
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the writer has exited (after an
+    /// ingest failure or shutdown).
+    pub fn ingest(&self, batch: Measurements) -> Result<(), ServeError> {
+        let tx = self.ingest_tx.as_ref().ok_or(ServeError::Closed)?;
+        tx.send(WriterMsg::Ingest(batch))
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Block until the writer has processed everything queued so far —
+    /// on return, the latest published snapshot reflects all prior
+    /// [`ingest`](Self::ingest) calls.
+    ///
+    /// # Errors
+    /// [`ServeError::Closed`] when the writer has exited.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        let tx = self.ingest_tx.as_ref().ok_or(ServeError::Closed)?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(WriterMsg::Flush(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Current counters (see [`ServeStats`]).
+    pub fn stats(&self) -> ServeStats {
+        self.handle().stats()
+    }
+
+    /// Stop the writer and hand the learning session back out — the
+    /// handoff mirror of [`SglServer::new`]. Outstanding handles keep
+    /// answering queries from the last snapshot.
+    ///
+    /// # Errors
+    /// The writer's ingest error, if it exited early.
+    pub fn shutdown(mut self) -> Result<SglSession<'static>, ServeError> {
+        drop(self.ingest_tx.take());
+        let writer = self.writer.take().expect("writer joined exactly once");
+        writer
+            .join()
+            .map_err(|_| ServeError::Sgl("writer thread panicked".into()))?
+    }
+}
+
+impl Drop for SglServer {
+    fn drop(&mut self) {
+        drop(self.ingest_tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut session: SglSession<'static>,
+    shared: Arc<Shared>,
+    opts: ServeOptions,
+    rx: mpsc::Receiver<WriterMsg>,
+) -> Result<SglSession<'static>, ServeError> {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Ingest(batch) => {
+                let columns = batch.num_measurements() as u64;
+                session.extend_measurements(&batch)?;
+                for _ in 0..opts.refresh_iters {
+                    if session.is_done() {
+                        break;
+                    }
+                    session.step()?;
+                }
+                let next = shared.cell.version() + 1;
+                let snapshot = GraphSnapshot::from_session(&mut session, opts.clusters, next)?;
+                shared.cell.publish(Arc::new(snapshot));
+                shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .measurements_ingested
+                    .fetch_add(columns, Ordering::Relaxed);
+            }
+            WriterMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+    Ok(session)
+}
+
+/// A read-only query handle (see the [module docs](self)). Clone freely
+/// and move clones into reader threads.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Pin the current snapshot. Everything computed from the returned
+    /// `Arc` stays on this one version regardless of later publishes.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.shared.cell.load().1
+    }
+
+    /// Version of the currently served snapshot.
+    pub fn version(&self) -> u64 {
+        self.shared.cell.version()
+    }
+
+    /// Effective resistances for `pairs`, micro-batched with concurrent
+    /// callers.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] on an invalid pair; solver failures as
+    /// [`ServeError::Sgl`].
+    pub fn resistances(
+        &self,
+        pairs: &[(usize, usize)],
+    ) -> Result<QueryResponse<Vec<f64>>, ServeError> {
+        self.count_query();
+        let (version, reply) = self
+            .shared
+            .batcher
+            .submit(&self.shared.cell, Payload::Resistances(pairs.to_vec()))?;
+        match reply {
+            Reply::Resistances(value) => Ok(QueryResponse { version, value }),
+            Reply::Interpolated(_) => unreachable!("resistance query got interpolation reply"),
+        }
+    }
+
+    /// Interpolate node voltages from one current-injection vector,
+    /// micro-batched with concurrent callers.
+    ///
+    /// # Errors
+    /// See [`GraphSnapshot::interpolate`].
+    pub fn interpolate(&self, injections: &[f64]) -> Result<QueryResponse<Vec<f64>>, ServeError> {
+        let mut r = self.interpolate_batch(std::slice::from_ref(&injections.to_vec()))?;
+        Ok(QueryResponse {
+            version: r.version,
+            value: r.value.pop().expect("one RHS in, one solution out"),
+        })
+    }
+
+    /// Batch form of [`interpolate`](Self::interpolate).
+    ///
+    /// # Errors
+    /// See [`GraphSnapshot::interpolate_batch`].
+    pub fn interpolate_batch(
+        &self,
+        injections: &[Vec<f64>],
+    ) -> Result<QueryResponse<Vec<Vec<f64>>>, ServeError> {
+        self.count_query();
+        let (version, reply) = self
+            .shared
+            .batcher
+            .submit(&self.shared.cell, Payload::Interpolate(injections.to_vec()))?;
+        match reply {
+            Reply::Interpolated(value) => Ok(QueryResponse { version, value }),
+            Reply::Resistances(_) => unreachable!("interpolation query got resistance reply"),
+        }
+    }
+
+    /// Spectral coordinates of `node`.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] when `node` is out of range.
+    pub fn embedding_coords(&self, node: usize) -> Result<QueryResponse<Vec<f64>>, ServeError> {
+        self.count_query();
+        let (version, snap) = self.shared.cell.load();
+        let value = snap.embedding_coords(node)?.to_vec();
+        Ok(QueryResponse { version, value })
+    }
+
+    /// Squared spectral-embedding distance between two nodes.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] when either node is out of range.
+    pub fn embedding_distance_sq(
+        &self,
+        s: usize,
+        t: usize,
+    ) -> Result<QueryResponse<f64>, ServeError> {
+        self.count_query();
+        let (version, snap) = self.shared.cell.load();
+        let value = snap.embedding_distance_sq(s, t)?;
+        Ok(QueryResponse { version, value })
+    }
+
+    /// Cluster label of `node` in the snapshot's embedding clustering.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] when `node` is out of range.
+    pub fn cluster_of(&self, node: usize) -> Result<QueryResponse<usize>, ServeError> {
+        self.count_query();
+        let (version, snap) = self.shared.cell.load();
+        let value = snap.cluster_of(node)?;
+        Ok(QueryResponse { version, value })
+    }
+
+    /// Index of the centroid nearest to `point` in embedding space.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] when `point` has the wrong width.
+    pub fn nearest_cluster(&self, point: &[f64]) -> Result<QueryResponse<usize>, ServeError> {
+        self.count_query();
+        let (version, snap) = self.shared.cell.load();
+        let value = snap.nearest_cluster(point)?;
+        Ok(QueryResponse { version, value })
+    }
+
+    /// Current counters (see [`ServeStats`]).
+    pub fn stats(&self) -> ServeStats {
+        let batch = self.shared.batcher.stats();
+        let (version, snap) = self.shared.cell.load();
+        ServeStats {
+            version,
+            snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
+            measurements_ingested: self.shared.measurements_ingested.load(Ordering::Relaxed),
+            queries_answered: self.shared.queries.load(Ordering::Relaxed),
+            batches_executed: batch.batches,
+            requests_coalesced: batch.coalesced_requests,
+            rhs_columns_solved: batch.rhs_columns,
+            largest_batch: batch.largest_batch,
+            revision: snap.revision_stats(),
+        }
+    }
+
+    fn count_query(&self) {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_core::SglConfig;
+
+    fn serving() -> (SglServer, sgl_graph::Graph) {
+        let truth = sgl_datasets::grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 3).unwrap();
+        let cfg = SglConfig::builder()
+            .k(4)
+            .r(4)
+            .tol(0.0)
+            .max_iterations(3)
+            .build()
+            .unwrap();
+        let mut session = SglSession::from_owned(cfg, meas).unwrap();
+        session.run_to_completion().unwrap();
+        (
+            SglServer::new(session, ServeOptions::default()).unwrap(),
+            truth,
+        )
+    }
+
+    #[test]
+    fn ingest_publishes_and_shutdown_hands_session_back() {
+        let (server, truth) = serving();
+        let reader = server.handle();
+        assert_eq!(reader.version(), 0);
+
+        let before = reader.resistances(&[(0, 12), (3, 21)]).unwrap();
+        assert_eq!(before.version, 0);
+
+        server
+            .ingest(Measurements::generate(&truth, 4, 5).unwrap())
+            .unwrap();
+        server
+            .ingest(Measurements::generate(&truth, 4, 6).unwrap())
+            .unwrap();
+        server.flush().unwrap();
+        assert_eq!(reader.version(), 2);
+
+        // Queries now answer from the refreshed snapshot...
+        let after = reader.resistances(&[(0, 12), (3, 21)]).unwrap();
+        assert_eq!(after.version, 2);
+        // ...while a pinned snapshot keeps serving its own version.
+        let pinned = reader.snapshot();
+        assert_eq!(pinned.version(), 2);
+
+        let stats = server.stats();
+        assert_eq!(stats.snapshots_published, 2);
+        assert_eq!(stats.measurements_ingested, 8);
+        assert!(stats.queries_answered >= 2);
+        assert!(stats.batches_executed >= 2);
+
+        // Handoff out: the session owns all 18 measurement columns and
+        // can still finish into a LearnResult.
+        let session = server.shutdown().unwrap();
+        assert_eq!(session.measurements().num_measurements(), 18);
+        let result = session.finish().unwrap();
+        assert_eq!(result.graph.num_nodes(), 25);
+
+        // The reader outlives the server and keeps answering.
+        assert_eq!(reader.resistances(&[(0, 12)]).unwrap().version, 2);
+    }
+
+    #[test]
+    fn ingest_after_shutdown_reports_closed() {
+        let (server, truth) = serving();
+        let reader = server.handle();
+        drop(server);
+        // Readers survive; only the write path is gone.
+        assert!(reader.embedding_coords(0).is_ok());
+        let _ = truth;
+    }
+
+    #[test]
+    fn mismatched_ingest_closes_writer_but_not_readers() {
+        let (server, _) = serving();
+        let reader = server.handle();
+        // A wrong-sized batch fails the writer loop.
+        let other = sgl_datasets::grid2d(3, 3);
+        let bad = Measurements::generate(&other, 3, 1).unwrap();
+        server.ingest(bad).unwrap();
+        let err = server.flush().unwrap_err();
+        assert_eq!(err, ServeError::Closed);
+        assert!(matches!(
+            server.ingest(Measurements::generate(&other, 1, 1).unwrap(),),
+            Err(ServeError::Closed)
+        ));
+        // Readers keep the last good snapshot.
+        assert_eq!(reader.version(), 0);
+        assert!(reader.resistances(&[(0, 1)]).is_ok());
+        // Shutdown surfaces the writer's error.
+        assert!(matches!(server.shutdown(), Err(ServeError::Sgl(_))));
+    }
+}

@@ -638,6 +638,16 @@ impl SolverContext {
         self.handle.as_ref()
     }
 
+    /// A clone of the cached handle's `Arc`, if any — shared, read-only
+    /// access for concurrent readers (handles are `Send + Sync`). The
+    /// clone keeps serving the revision it was built for even after the
+    /// context absorbs further deltas: in-place operator patches
+    /// copy-on-write when a reader still holds the operator, so a
+    /// published handle never changes under its holder.
+    pub fn shared_handle(&self) -> Option<Arc<dyn SolverHandle>> {
+        self.handle.clone()
+    }
+
     /// How many handles this context has built from scratch — the
     /// observable cost of the reuse policy (and the witness that a
     /// solver-free pipeline never built one). Incremental revisions

@@ -15,6 +15,8 @@
 //!   coarse-level learning ([`learn_multilevel`](sgl_multilevel::learn_multilevel)),
 //!   resistance-based sparsification.
 //! * [`sgl_baseline`] — kNN and dense graphical-Lasso-style baselines.
+//! * [`sgl_serve`] — concurrent snapshot-based query serving with
+//!   streaming measurement ingest ([`SglServer`](sgl_serve::SglServer)).
 //!
 //! # Quickstart
 //!
@@ -97,6 +99,38 @@
 //! results: the same config and seed learn a bit-identical graph at any
 //! setting. See the README's *Parallel execution* section and
 //! `bench_learn` for the tracked end-to-end numbers.
+//!
+//! # Serving
+//!
+//! To answer queries from a learned graph **while it keeps learning**
+//! from streamed measurements, hand the session to an
+//! [`SglServer`](sgl_serve::SglServer): readers get lock-free,
+//! version-tagged snapshots (effective resistance, spectral
+//! coordinates, nearest cluster, signal interpolation), a writer thread
+//! ingests measurement batches and republishes via the solver's
+//! incremental revisions:
+//!
+//! ```
+//! use sgl::prelude::*;
+//!
+//! let truth = sgl_datasets::grid2d(6, 6);
+//! let cfg = SglConfig::builder().k(4).r(4).tol(0.0).max_iterations(3).build().unwrap();
+//! let mut session =
+//!     SglSession::from_owned(cfg, Measurements::generate(&truth, 12, 1).unwrap()).unwrap();
+//! session.run_to_completion().unwrap();
+//!
+//! let server = SglServer::new(session, ServeOptions::default()).unwrap();
+//! let reader = server.handle(); // Clone + Send: move into reader threads
+//! server.ingest(Measurements::generate(&truth, 6, 2).unwrap()).unwrap();
+//! server.flush().unwrap();
+//! let r = reader.resistances(&[(0, 35)]).unwrap();
+//! assert_eq!(r.version, 1); // answered by the refreshed snapshot
+//! let session = server.shutdown().unwrap(); // handoff back out
+//! assert!(session.finish().is_ok());
+//! ```
+//!
+//! See `examples/serving.rs` for the full loop under concurrent readers
+//! and `bench_serve` for tracked throughput/latency numbers.
 
 pub use sgl_baseline;
 pub use sgl_core;
@@ -105,6 +139,7 @@ pub use sgl_graph;
 pub use sgl_knn;
 pub use sgl_linalg;
 pub use sgl_multilevel;
+pub use sgl_serve;
 pub use sgl_solver;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -112,11 +147,14 @@ pub mod prelude {
     pub use sgl_core::{
         DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, Measurements, PolicyMethod,
         ResistanceEstimator, ResistanceMethod, SessionObserver, Sgl, SglConfig, SglSession,
-        SolverPolicy, StepOutcome,
+        SolverPolicy, StepOutcome, StopVerdict,
     };
     pub use sgl_graph::Graph;
     pub use sgl_multilevel::{
         learn_multilevel, sparsify_by_resistance, MultilevelHierarchy, MultilevelOptions,
         MultilevelResult, SparsifyOptions,
+    };
+    pub use sgl_serve::{
+        GraphSnapshot, QueryResponse, ServeError, ServeHandle, ServeOptions, ServeStats, SglServer,
     };
 }

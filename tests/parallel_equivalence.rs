@@ -239,6 +239,43 @@ mod delta_proptests {
 }
 
 #[test]
+fn served_snapshot_queries_identical_at_any_thread_count() {
+    // The serving layer inherits the determinism contract: a pinned
+    // GraphSnapshot answers resistance and interpolation queries
+    // bit-identically at every ambient worker count, and the
+    // micro-batched handle path reproduces the direct snapshot path.
+    let truth = sgl_datasets::grid2d(8, 8);
+    let meas = Measurements::generate(&truth, 15, 3).unwrap();
+    let cfg = SglConfig::builder()
+        .tol(0.0)
+        .max_iterations(5)
+        .build()
+        .unwrap();
+    let mut session = SglSession::from_owned(cfg, meas).unwrap();
+    session.run_to_completion().unwrap();
+    let server = SglServer::new(session, ServeOptions::default()).unwrap();
+    let snap = server.handle().snapshot();
+
+    let pairs = sample_node_pairs(64, 40, 8);
+    let mut injection = vec![0.0; 64];
+    injection[0] = 1.0;
+    injection[63] = -1.0;
+
+    let serial_r = par::with_threads(1, || snap.resistances(&pairs).unwrap());
+    let serial_v = par::with_threads(1, || snap.interpolate(&injection).unwrap());
+    for threads in [2usize, 4] {
+        let par_r = par::with_threads(threads, || snap.resistances(&pairs).unwrap());
+        let par_v = par::with_threads(threads, || snap.interpolate(&injection).unwrap());
+        assert_eq!(par_r, serial_r, "resistances at {threads} threads");
+        assert_eq!(par_v, serial_v, "interpolation at {threads} threads");
+    }
+
+    let handle = server.handle();
+    assert_eq!(handle.resistances(&pairs).unwrap().value, serial_r);
+    assert_eq!(handle.interpolate(&injection).unwrap().value, serial_v);
+}
+
+#[test]
 fn clustering_partitions_identical_at_any_thread_count() {
     use sgl_core::clustering::{kmeans, spectral_clustering};
     // kmeans on raw rows and the full spectral pipeline: the partition

@@ -5,8 +5,7 @@
 
 use sgl::prelude::*;
 use sgl_core::SessionObserver;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn config(tol: f64) -> SglConfig {
     SglConfig::builder()
@@ -65,16 +64,16 @@ fn stepwise_session_equals_one_shot_learn() {
 fn observer_sees_exactly_the_trace() {
     let truth = sgl_datasets::grid2d(10, 10);
     let meas = Measurements::generate(&truth, 25, 5).unwrap();
-    let seen: Rc<RefCell<Vec<IterationRecord>>> = Rc::default();
-    let sink = Rc::clone(&seen);
+    let seen: Arc<Mutex<Vec<IterationRecord>>> = Arc::default();
+    let sink = Arc::clone(&seen);
 
     let mut session = SglSession::new(config(1e-6), &meas).unwrap();
-    session.observe(move |r: &IterationRecord| sink.borrow_mut().push(*r));
+    session.observe(move |r: &IterationRecord| sink.lock().unwrap().push(*r));
     session.run_to_completion().unwrap();
     let result = session.finish().unwrap();
 
     assert!(!result.trace.is_empty());
-    assert_eq!(&*seen.borrow(), &result.trace);
+    assert_eq!(&*seen.lock().unwrap(), &result.trace);
 }
 
 /// A trait-object observer also receives the finish notification with
@@ -82,30 +81,30 @@ fn observer_sees_exactly_the_trace() {
 #[test]
 fn trait_observer_receives_finish() {
     struct Counter {
-        iterations: Rc<RefCell<usize>>,
-        finished: Rc<RefCell<Option<usize>>>,
+        iterations: Arc<Mutex<usize>>,
+        finished: Arc<Mutex<Option<usize>>>,
     }
     impl SessionObserver for Counter {
         fn on_iteration(&mut self, _r: &IterationRecord) {
-            *self.iterations.borrow_mut() += 1;
+            *self.iterations.lock().unwrap() += 1;
         }
         fn on_finish(&mut self, result: &LearnResult) {
-            *self.finished.borrow_mut() = Some(result.trace.len());
+            *self.finished.lock().unwrap() = Some(result.trace.len());
         }
     }
 
     let truth = sgl_datasets::grid2d(8, 8);
     let meas = Measurements::generate(&truth, 20, 6).unwrap();
-    let iterations = Rc::new(RefCell::new(0));
-    let finished = Rc::new(RefCell::new(None));
+    let iterations = Arc::new(Mutex::new(0));
+    let finished = Arc::new(Mutex::new(None));
     let mut session = SglSession::new(config(1e-6), &meas).unwrap();
     session.observe(Counter {
-        iterations: Rc::clone(&iterations),
-        finished: Rc::clone(&finished),
+        iterations: Arc::clone(&iterations),
+        finished: Arc::clone(&finished),
     });
     let result = session.run().unwrap();
-    assert_eq!(*iterations.borrow(), result.trace.len());
-    assert_eq!(*finished.borrow(), Some(result.trace.len()));
+    assert_eq!(*iterations.lock().unwrap(), result.trace.len());
+    assert_eq!(*finished.lock().unwrap(), Some(result.trace.len()));
 }
 
 /// Acceptance criterion: swapping `DenseEigBackend` for the default
