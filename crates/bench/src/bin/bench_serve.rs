@@ -147,6 +147,17 @@ fn main() {
     let queries: usize = args.get("queries", if quick { 40 } else { 120 });
     let window_us: u64 = args.get("window-us", 200);
     let max_readers: usize = args.get("readers", if quick { 2 } else { 4 });
+    // Reader threads are OS threads hammering a lock-free snapshot, so
+    // oversubscription is allowed — but record the host's real
+    // parallelism so the tracked latency numbers are interpretable.
+    let effective_threads = max_readers.min(par::max_threads());
+    if max_readers > par::max_threads() {
+        eprintln!(
+            "warning: {max_readers} reader threads requested but the host has only {} cores; \
+             reader arms will oversubscribe (effective_threads = {effective_threads})",
+            par::max_threads()
+        );
+    }
     let reader_counts: Vec<usize> = {
         let mut counts = vec![1];
         let mut c = 2;
@@ -169,6 +180,7 @@ fn main() {
             ("reader_counts", format!("{reader_counts:?}")),
             ("pairs/query", PAIRS_PER_QUERY.to_string()),
             ("window_us", window_us.to_string()),
+            ("effective_threads", effective_threads.to_string()),
             ("host_cores", par::max_threads().to_string()),
         ],
     );
@@ -324,6 +336,7 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"serve\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
+    json.push_str(&format!("  \"effective_threads\": {effective_threads},\n"));
     json.push_str(&format!(
         "  \"args\": \"side={side} m={m} queries={queries} readers={max_readers} \
          window_us={window_us} quick={quick}\",\n"

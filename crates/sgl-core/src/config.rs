@@ -33,6 +33,7 @@
 
 use crate::error::SglError;
 use crate::resistance::ResistanceMethod;
+use crate::strategy::LearnStrategyKind;
 use sgl_knn::{KnnGraphConfig, KnnMethod};
 use sgl_solver::{PolicyMethod, ReuseMode, SolverPolicy};
 
@@ -132,6 +133,11 @@ pub struct SglConfig {
     /// level). Consumed by `sgl-multilevel`; ignored by the flat
     /// pipeline.
     pub max_levels: usize,
+    /// Which learning strategy drives the loop: the solver-backed
+    /// default, or the solver-free SF-SGL path (requires the
+    /// `sgl-sfsgl` crate — see
+    /// [`LearnStrategyKind`]).
+    pub strategy: LearnStrategyKind,
 }
 
 impl Default for SglConfig {
@@ -153,6 +159,7 @@ impl Default for SglConfig {
             parallelism: 0,
             coarsening_ratio: 0.6,
             max_levels: 10,
+            strategy: LearnStrategyKind::default(),
         }
     }
 }
@@ -310,6 +317,12 @@ impl SglConfig {
     /// Builder-style setter for the multilevel level cap.
     pub fn with_max_levels(mut self, max_levels: usize) -> Self {
         self.max_levels = max_levels;
+        self
+    }
+
+    /// Builder-style setter for the learning strategy.
+    pub fn with_strategy(mut self, strategy: LearnStrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -470,6 +483,15 @@ impl SglConfigBuilder {
     /// Cap on the number of multilevel hierarchy levels (1 = flat).
     pub fn max_levels(mut self, max_levels: usize) -> Self {
         self.cfg.max_levels = max_levels;
+        self
+    }
+
+    /// Learning strategy: [`LearnStrategyKind::Solver`] (default) runs
+    /// the classic solver-backed loop; [`LearnStrategyKind::SolverFree`]
+    /// runs the SF-SGL path (no Laplacian solves or factorizations —
+    /// requires `sgl_sfsgl::register()`).
+    pub fn strategy(mut self, strategy: LearnStrategyKind) -> Self {
+        self.cfg.strategy = strategy;
         self
     }
 
@@ -675,6 +697,22 @@ mod tests {
             .build()
             .is_err());
         assert!(SglConfig::builder().max_levels(0).build().is_err());
+    }
+
+    #[test]
+    fn strategy_threads_through_builder() {
+        assert_eq!(SglConfig::default().strategy, LearnStrategyKind::Solver);
+        let c = SglConfig::builder()
+            .strategy(LearnStrategyKind::SolverFree)
+            .build()
+            .unwrap();
+        assert_eq!(c.strategy, LearnStrategyKind::SolverFree);
+        assert_eq!(
+            SglConfig::default()
+                .with_strategy(LearnStrategyKind::SolverFree)
+                .strategy,
+            LearnStrategyKind::SolverFree
+        );
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod resistance;
 pub mod scaling;
 pub mod sensitivity;
 pub mod session;
+pub mod strategy;
 
 pub use algorithm::{IterationRecord, LearnResult, Sgl, StopVerdict};
 pub use backend::{
@@ -86,17 +87,25 @@ pub use measure::Measurements;
 pub use metrics::{compare_spectra, SpectrumComparison};
 pub use objective::{objective, ObjectiveOptions, ObjectiveValue};
 pub use reduction::{learn_reduced, ReducedResult};
-pub use refine::{refine_weights, refine_weights_with, RefineOptions, RefineRecord};
+pub use refine::{
+    refine_weights, refine_weights_solver_free, refine_weights_with, RefineOptions, RefineRecord,
+};
 pub use resistance::{
     build_resistance_estimator, effective_resistance, pairwise_effective_resistances,
     sample_node_pairs, ExactSolve, JlSketch, ResistanceEstimator, ResistanceMethod,
     ResistanceSketch, SpectralSketch,
 };
 pub use scaling::{
-    edge_scale_factor, edge_scale_factor_with, spectral_edge_scaling, spectral_edge_scaling_with,
+    edge_scale_factor, edge_scale_factor_with, rayleigh_edge_scaling, rayleigh_scale_factor,
+    solver_free_edge_scaling, solver_free_scale_factor, spectral_edge_scaling,
+    spectral_edge_scaling_with,
 };
 pub use sensitivity::{Candidate, CandidatePool};
 pub use session::{SessionObserver, SglSession, StepOutcome};
+pub use strategy::{
+    register_solver_free_strategy, resolve_strategy, solver_free_registered, LearnStrategy,
+    LearnStrategyKind, SolverFreeFactory, SolverStrategy,
+};
 // The solve-layer vocabulary types, re-exported so configuring a session
 // does not require a direct sgl-solver dependency.
 pub use sgl_solver::{

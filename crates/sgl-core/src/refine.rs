@@ -24,8 +24,9 @@
 
 use crate::error::SglError;
 use crate::measure::Measurements;
-use crate::resistance::ResistanceSketch;
-use sgl_graph::Graph;
+use crate::resistance::{ResistanceEstimator, ResistanceSketch, SpectralSketch};
+use sgl_graph::{EdgeDelta, Graph};
+use sgl_linalg::FilteredSpectrumOptions;
 use sgl_solver::{SolverContext, SolverPolicy};
 
 /// Options for [`refine_weights`].
@@ -100,6 +101,133 @@ pub fn refine_weights_with(
     opts: &RefineOptions,
     ctx: &mut SolverContext,
 ) -> Result<Vec<RefineRecord>, SglError> {
+    let n = graph.num_nodes();
+    let q = if opts.projections > 0 {
+        opts.projections
+    } else {
+        ((24.0 * (n.max(2) as f64).ln()).ceil() as usize).clamp(50, 300)
+    };
+    let mut resistor = JlResistor {
+        ctx,
+        q,
+        seed: opts.seed,
+    };
+    refine_rounds(graph, measurements, opts, &mut resistor)
+}
+
+/// Solver-free weight refinement (the SF-SGL path): each round's
+/// effective resistances come from the *filtered* truncated-spectrum
+/// sketch ([`SpectralSketch::build_filtered`]) — plain smoothed-matvec
+/// extraction, no Laplacian solver or factorization anywhere. The round
+/// loop, damping, clamping, and trace are shared with
+/// [`refine_weights_with`].
+///
+/// `opts.projections` is reinterpreted as the sketch *width* (retained
+/// eigenpairs; 0 = auto). The truncated sum lower-bounds `R_eff`, which
+/// biases η slightly low; the damping/clamp keep that bias from
+/// over-shrinking weights, and the small-λ pairs that dominate `1/λ`
+/// are exactly the ones the filter extracts best.
+///
+/// # Errors
+/// Propagates eigensolver failures; rejects node-count mismatches and
+/// invalid options.
+pub fn refine_weights_solver_free(
+    graph: &mut Graph,
+    measurements: &Measurements,
+    opts: &RefineOptions,
+) -> Result<Vec<RefineRecord>, SglError> {
+    let mut fopts = FilteredSpectrumOptions::default();
+    fopts.filter.count = 16;
+    fopts.filter.sweeps = 16;
+    fopts.oversample = 8;
+    let mut resistor = FilteredResistor {
+        width: opts.projections,
+        seed: opts.seed,
+        opts: fopts,
+    };
+    refine_rounds(graph, measurements, opts, &mut resistor)
+}
+
+/// How a refinement round obtains its effective-resistance oracle and
+/// learns about the weight update that follows it — the seam between
+/// the solver-backed and solver-free variants.
+trait RefineResistor {
+    fn estimator(
+        &mut self,
+        graph: &Graph,
+        round: usize,
+    ) -> Result<Box<dyn ResistanceEstimator>, SglError>;
+
+    fn graph_updated(&mut self, graph: &Graph, deltas: &[EdgeDelta]) -> Result<(), SglError>;
+}
+
+/// JL sketch through the shared solver context (the classic path).
+struct JlResistor<'a> {
+    ctx: &'a mut SolverContext,
+    q: usize,
+    seed: u64,
+}
+
+impl RefineResistor for JlResistor<'_> {
+    fn estimator(
+        &mut self,
+        graph: &Graph,
+        round: usize,
+    ) -> Result<Box<dyn ResistanceEstimator>, SglError> {
+        let handle = self.ctx.handle_for(graph)?;
+        Ok(Box::new(ResistanceSketch::build_with(
+            handle.as_ref(),
+            graph,
+            self.q,
+            self.seed.wrapping_add(round as u64),
+        )?))
+    }
+
+    fn graph_updated(&mut self, graph: &Graph, deltas: &[EdgeDelta]) -> Result<(), SglError> {
+        // Weights just changed — report the (usually full-rank) delta to
+        // the context: small graphs absorb it incrementally, larger ones
+        // exceed the delta-rank cap and refactor exactly as before.
+        self.ctx.apply_deltas(graph, deltas).map_err(SglError::from)
+    }
+}
+
+/// Filtered truncated-spectrum sketch, rebuilt from matvecs each round
+/// (the solver-free path — nothing to invalidate on update).
+struct FilteredResistor {
+    width: usize,
+    seed: u64,
+    opts: FilteredSpectrumOptions,
+}
+
+impl RefineResistor for FilteredResistor {
+    fn estimator(
+        &mut self,
+        graph: &Graph,
+        round: usize,
+    ) -> Result<Box<dyn ResistanceEstimator>, SglError> {
+        Ok(Box::new(SpectralSketch::build_filtered(
+            graph,
+            self.width,
+            self.seed.wrapping_add(round as u64),
+            None,
+            &self.opts,
+        )?))
+    }
+
+    fn graph_updated(&mut self, _graph: &Graph, _deltas: &[EdgeDelta]) -> Result<(), SglError> {
+        Ok(())
+    }
+}
+
+/// The shared fixed-point loop: score every edge's distortion η against
+/// the round's resistance oracle, apply the damped clamped update, tell
+/// the resistor, record the trace.
+fn refine_rounds(
+    graph: &mut Graph,
+    measurements: &Measurements,
+    opts: &RefineOptions,
+    resistor: &mut dyn RefineResistor,
+) -> Result<Vec<RefineRecord>, SglError> {
     if graph.num_nodes() != measurements.num_nodes() {
         return Err(SglError::InvalidMeasurements(format!(
             "graph has {} nodes, measurements have {}",
@@ -119,12 +247,6 @@ pub fn refine_weights_with(
             opts.clamp
         )));
     }
-    let n = graph.num_nodes();
-    let q = if opts.projections > 0 {
-        opts.projections
-    } else {
-        ((24.0 * (n.max(2) as f64).ln()).ceil() as usize).clamp(50, 300)
-    };
     let m = measurements.num_measurements() as f64;
     // Cache data distances per edge (fixed across rounds).
     let zdata: Vec<f64> = graph
@@ -139,13 +261,7 @@ pub fn refine_weights_with(
 
     let mut trace = Vec::with_capacity(opts.rounds);
     for round in 1..=opts.rounds {
-        let handle = ctx.handle_for(graph)?;
-        let sketch = ResistanceSketch::build_with(
-            handle.as_ref(),
-            graph,
-            q,
-            opts.seed.wrapping_add(round as u64),
-        )?;
+        let sketch = resistor.estimator(graph, round)?;
         let num_edges = graph.num_edges();
         // Per-edge scoring is independent (the sketch is read-only), so
         // it fans out across the ambient thread count; the weight writes
@@ -154,9 +270,10 @@ pub fn refine_weights_with(
         let etas: Vec<f64> = {
             // Reborrow immutably for the parallel read-only phase.
             let g: &Graph = graph;
+            let est: &dyn ResistanceEstimator = sketch.as_ref();
             sgl_linalg::par::try_map_indexed(num_edges, 64, |i| {
                 let e = g.edge(i);
-                let reff = sketch.estimate(e.u, e.v)?.max(f64::MIN_POSITIVE);
+                let reff = est.resistance(e.u, e.v)?.max(f64::MIN_POSITIVE);
                 Ok::<f64, SglError>((m * reff / zdata[i]).max(f64::MIN_POSITIVE))
             })?
         };
@@ -170,17 +287,9 @@ pub fn refine_weights_with(
             let factor = eta.powf(opts.damping).clamp(1.0 / opts.clamp, opts.clamp);
             let e = graph.edge(i);
             graph.set_weight(i, e.weight * factor);
-            deltas.push(sgl_graph::EdgeDelta::reweight(
-                e.u,
-                e.v,
-                e.weight,
-                e.weight * factor,
-            ));
+            deltas.push(EdgeDelta::reweight(e.u, e.v, e.weight, e.weight * factor));
         }
-        // Weights just changed — report the (usually full-rank) delta to
-        // the context: small graphs absorb it incrementally, larger ones
-        // exceed the delta-rank cap and refactor exactly as before.
-        ctx.apply_deltas(graph, &deltas)?;
+        resistor.graph_updated(graph, &deltas)?;
         trace.push(RefineRecord {
             round,
             max_log_distortion: max_log,
@@ -287,6 +396,42 @@ mod tests {
             "every round's weight update must be accounted for: {rs:?}"
         );
         assert!(ctx.cumulative_stats().solves > 0);
+    }
+
+    #[test]
+    fn solver_free_refine_tracks_the_solver_path() {
+        let (truth, meas, result) = learn(10, 30, 6);
+        let opts = RefineOptions::default();
+        let mut solver_g = result.graph.clone();
+        refine_weights(&mut solver_g, &meas, &opts).unwrap();
+        let mut sf_g = result.graph.clone();
+        let trace = refine_weights_solver_free(&mut sf_g, &meas, &opts).unwrap();
+        assert_eq!(trace.len(), opts.rounds);
+        // Same fixed point chased without a solver: distortion shrinks
+        // and the refined graph stays spectrally close to the
+        // solver-refined one.
+        assert!(
+            trace.last().unwrap().mean_log_distortion < trace.first().unwrap().mean_log_distortion,
+            "distortion should shrink: {trace:?}"
+        );
+        crate::scaling::solver_free_edge_scaling(&mut sf_g, &meas).unwrap();
+        crate::scaling::spectral_edge_scaling(&mut solver_g, &meas).unwrap();
+        let cmp = compare_spectra(&solver_g, &sf_g, 6, SpectrumMethod::ShiftInvert).unwrap();
+        assert!(
+            cmp.mean_relative_error < 0.1,
+            "solver-free refine diverged: {cmp:?}"
+        );
+        // And going solver-free costs no ground-truth fidelity: the
+        // solver-free graph correlates with the truth as well as the
+        // solver-refined one does (small slack for the differing
+        // resistance estimators).
+        let sf_vs_truth = compare_spectra(&truth, &sf_g, 6, SpectrumMethod::ShiftInvert).unwrap();
+        let solver_vs_truth =
+            compare_spectra(&truth, &solver_g, 6, SpectrumMethod::ShiftInvert).unwrap();
+        assert!(
+            sf_vs_truth.correlation > solver_vs_truth.correlation - 0.02,
+            "solver-free {sf_vs_truth:?} vs solver {solver_vs_truth:?}"
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@
 use crate::error::SglError;
 use sgl_graph::laplacian::{laplacian_csr, LaplacianOp};
 use sgl_graph::Graph;
-use sgl_linalg::lanczos::{lanczos_smallest, LanczosOptions};
-use sgl_linalg::{DenseMatrix, Rng, SymEig};
+use sgl_linalg::lanczos::{lanczos_smallest, LanczosOptions, SpectralPairs};
+use sgl_linalg::{filtered_spectrum, DenseMatrix, FilteredSpectrumOptions, Rng, SymEig};
 use sgl_solver::{SolverContext, SolverHandle, SolverPolicy};
 use std::sync::Arc;
 
@@ -109,7 +109,23 @@ pub fn build_resistance_estimator(
             )?))
         }
         ResistanceMethod::SpectralSketch { width } => {
-            Ok(Box::new(SpectralSketch::build(graph, width, seed)?))
+            // Below the dense cutoff [`SpectralSketch::build`] gives the
+            // exact full spectrum cheaply; above it, the Lanczos route it
+            // would take is far too expensive for an estimator rebuilt
+            // every graph revision — take the filtered Rayleigh–Ritz
+            // extraction (the SF-SGL route: a bounded number of matvecs)
+            // instead.
+            if graph.num_nodes() <= SpectralSketch::DENSE_CUTOFF {
+                Ok(Box::new(SpectralSketch::build(graph, width, seed)?))
+            } else {
+                Ok(Box::new(SpectralSketch::build_filtered(
+                    graph,
+                    width,
+                    seed,
+                    None,
+                    &FilteredSpectrumOptions::default(),
+                )?))
+            }
         }
     }
 }
@@ -442,7 +458,73 @@ impl SpectralSketch {
                     (0..width).map(|j| pairs.vectors.column(j)).collect(),
                 )
             };
-        let mut rows = DenseMatrix::zeros(width, n);
+        Ok(Self::assemble(values, &vectors, n))
+    }
+
+    /// Build a sketch of `width` nontrivial eigenpairs through the
+    /// filtered Rayleigh–Ritz extraction
+    /// ([`filtered_spectrum`]) — the SF-SGL route: smoothed test
+    /// vectors (weighted-Jacobi low-pass filtering) instead of a Lanczos
+    /// recurrence, optionally warm-started from `basis` (e.g. band
+    /// vectors prolonged from a coarser level). Like
+    /// [`SpectralSketch::build`] this never constructs a Laplacian
+    /// solver; unlike it, the extraction is plain filtered matvecs even
+    /// above the dense cutoff.
+    ///
+    /// # Errors
+    /// Returns [`SglError::InvalidGraph`] for empty/disconnected graphs
+    /// and propagates eigensolver failures.
+    pub fn build_filtered(
+        graph: &Graph,
+        width: usize,
+        seed: u64,
+        basis: Option<&DenseMatrix>,
+        opts: &FilteredSpectrumOptions,
+    ) -> Result<Self, SglError> {
+        let n = graph.num_nodes();
+        if n < 2 {
+            return Err(SglError::InvalidGraph(
+                "resistance sketch needs at least two nodes".into(),
+            ));
+        }
+        if !sgl_graph::traversal::is_connected(graph) {
+            return Err(SglError::InvalidGraph(
+                "resistance sketch requires a connected graph".into(),
+            ));
+        }
+        let full = n - 1;
+        let width = if width == 0 {
+            full.min(Self::AUTO_WIDTH_CAP)
+        } else {
+            width.min(full)
+        };
+        let op = LaplacianOp::new(graph);
+        let diag = graph.weighted_degrees();
+        let mut opts = opts.clone();
+        opts.filter.seed = seed;
+        // Heavy low-pass smoothing collapses the test-vector span toward
+        // the smooth end of the spectrum; when the requested width is a
+        // large fraction of it, damp the sweep count so the Rayleigh–Ritz
+        // subspace keeps full rank.
+        opts.filter.sweeps = opts.filter.sweeps.min((n / width.max(1)).max(1));
+        let pairs = filtered_spectrum(&op, &diag, width, basis, &opts)?;
+        Ok(Self::from_pairs(&pairs))
+    }
+
+    /// Assemble a sketch from already-computed nontrivial eigenpairs
+    /// (`vectors` columns, `values` ascending) — the shared tail of every
+    /// construction path, and the hook the solver-free strategy uses to
+    /// reuse its band-filtered eigenpairs as a resistance oracle without
+    /// a second extraction.
+    pub fn from_pairs(pairs: &SpectralPairs) -> Self {
+        let n = pairs.vectors.nrows();
+        let width = pairs.values.len();
+        let vectors: Vec<Vec<f64>> = (0..width).map(|j| pairs.vectors.column(j)).collect();
+        Self::assemble(pairs.values.clone(), &vectors, n)
+    }
+
+    fn assemble(values: Vec<f64>, vectors: &[Vec<f64>], n: usize) -> Self {
+        let mut rows = DenseMatrix::zeros(values.len(), n);
         // Row builds are independent scalings of distinct eigenvectors:
         // partition them across the ambient thread count.
         sgl_linalg::par::for_each_row_chunk(rows.as_mut_slice(), n, 8, |first, chunk| {
@@ -454,10 +536,10 @@ impl SpectralSketch {
                 }
             }
         });
-        Ok(SpectralSketch {
+        SpectralSketch {
             rows,
             eigenvalues: values,
-        })
+        }
     }
 
     /// Number of retained nontrivial eigenpairs.
@@ -642,6 +724,57 @@ mod tests {
                 est <= exact[k] * (1.0 + 1e-9) + 1e-12,
                 "truncated estimate must lower-bound R_eff"
             );
+        }
+    }
+
+    #[test]
+    fn filtered_sketch_tracks_the_dense_one() {
+        // The filtered (SF-SGL) construction extracts the same leading
+        // eigenpairs, so resistances must correlate tightly with the
+        // dense-path sketch of the same width.
+        let g = grid2d(7, 7);
+        let pairs = sample_node_pairs(49, 25, 13);
+        let dense = SpectralSketch::build(&g, 12, 2).unwrap();
+        let mut opts = sgl_linalg::FilteredSpectrumOptions::default();
+        opts.filter.count = 16;
+        opts.filter.sweeps = 24;
+        opts.oversample = 12;
+        let filtered = SpectralSketch::build_filtered(&g, 12, 2, None, &opts).unwrap();
+        assert_eq!(filtered.width(), 12);
+        let a: Vec<f64> = pairs
+            .iter()
+            .map(|&(s, t)| dense.estimate(s, t).unwrap())
+            .collect();
+        let b: Vec<f64> = pairs
+            .iter()
+            .map(|&(s, t)| filtered.estimate(s, t).unwrap())
+            .collect();
+        assert!(vecops::pearson(&a, &b) > 0.99, "filtered sketch diverged");
+        // Ritz values upper-bound the true eigenvalues, so the filtered
+        // truncation still lower-bounds the resistance.
+        let exact = pairwise_effective_resistances(&g, &pairs).unwrap();
+        for (k, est) in b.iter().enumerate() {
+            assert!(*est <= exact[k] * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_pairs_matches_direct_assembly() {
+        let g = grid2d(5, 5);
+        let eig = SymEig::compute(&laplacian_csr(&g).to_dense()).unwrap();
+        let width = 10;
+        let cols: Vec<Vec<f64>> = (1..=width).map(|j| eig.vectors.column(j)).collect();
+        let pairs = SpectralPairs {
+            values: eig.values[1..=width].to_vec(),
+            vectors: DenseMatrix::from_columns(&cols),
+        };
+        let via_pairs = SpectralSketch::from_pairs(&pairs);
+        let direct = SpectralSketch::build(&g, width, 3).unwrap();
+        assert_eq!(via_pairs.width(), direct.width());
+        for &(s, t) in &sample_node_pairs(25, 12, 14) {
+            let a = via_pairs.estimate(s, t).unwrap();
+            let b = direct.estimate(s, t).unwrap();
+            assert!((a - b).abs() < 1e-9 * (1.0 + b), "{a} vs {b}");
         }
     }
 

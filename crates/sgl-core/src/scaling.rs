@@ -9,9 +9,17 @@
 
 use crate::error::SglError;
 use crate::measure::Measurements;
+use sgl_graph::laplacian::LaplacianOp;
 use sgl_graph::Graph;
-use sgl_linalg::vecops;
+use sgl_linalg::cg::{pcg_solve, CgOptions, JacobiPreconditioner};
+use sgl_linalg::operator::LinearOperator;
+use sgl_linalg::{par, vecops};
 use sgl_solver::{SolverHandle, SolverPolicy};
+
+/// Relative residual for the solver-free factor's inner CG runs: the
+/// factor enters through `‖x̃‖²`, so a `1e-4` residual bounds the factor
+/// error well inside the few-percent agreement the A/B criterion needs.
+const SOLVER_FREE_RTOL: f64 = 1e-4;
 
 /// Apply spectral edge scaling to `graph` in place, returning the scale
 /// factor that was applied. Builds a default-policy solver handle; use
@@ -108,6 +116,160 @@ pub fn edge_scale_factor_with(
     Ok(factor)
 }
 
+/// Solver-free variant of the eq. (23) scale factor (SF-SGL): under the
+/// uniform-misscale model eqs. 21–23 assume (`L = c · L_true`), the
+/// Rayleigh-quotient ratio `Σ_i x_iᵀ y_i / Σ_i x_iᵀ L x_i = 1/c`
+/// recovers the same correction as the solve-based factor — but with
+/// one matvec per measurement column and no Laplacian system. Exact
+/// (not merely approximate) whenever the learned graph is a uniform
+/// rescale of the truth; elsewhere the two factors agree to first
+/// order.
+///
+/// # Errors
+/// Returns [`SglError::InvalidMeasurements`] when no current
+/// measurements are available, on node-count mismatch, or when the
+/// ratio degenerates.
+pub fn rayleigh_scale_factor(graph: &Graph, measurements: &Measurements) -> Result<f64, SglError> {
+    let y = measurements.currents().ok_or_else(|| {
+        SglError::InvalidMeasurements(
+            "edge scaling needs current measurements (Y); construct with Measurements::new \
+             or disable scale_edges"
+                .into(),
+        )
+    })?;
+    if graph.num_nodes() != measurements.num_nodes() {
+        return Err(SglError::InvalidMeasurements(format!(
+            "graph has {} nodes but measurements have {}",
+            graph.num_nodes(),
+            measurements.num_nodes()
+        )));
+    }
+    let op = LaplacianOp::new(graph);
+    let m = measurements.num_measurements();
+    let n = graph.num_nodes();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut lx = vec![0.0; n];
+    for i in 0..m {
+        let xi = measurements.voltage_vector(i);
+        if vecops::norm2_sq(&xi) == 0.0 {
+            return Err(SglError::InvalidMeasurements(format!(
+                "voltage measurement {i} is identically zero"
+            )));
+        }
+        op.apply(&xi, &mut lx);
+        num += vecops::dot(&xi, &y.column(i));
+        den += vecops::dot(&xi, &lx);
+    }
+    if den <= 0.0 || !den.is_finite() || !num.is_finite() {
+        return Err(SglError::InvalidMeasurements(format!(
+            "degenerate Rayleigh scale ratio {num}/{den}"
+        )));
+    }
+    let factor = num / den;
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(SglError::InvalidMeasurements(format!(
+            "degenerate edge scale factor {factor}"
+        )));
+    }
+    Ok(factor)
+}
+
+/// Apply the [`rayleigh_scale_factor`] to `graph` in place, returning
+/// the factor.
+///
+/// # Errors
+/// See [`rayleigh_scale_factor`].
+pub fn rayleigh_edge_scaling(
+    graph: &mut Graph,
+    measurements: &Measurements,
+) -> Result<f64, SglError> {
+    let factor = rayleigh_scale_factor(graph, measurements)?;
+    graph.scale_weights(factor);
+    Ok(factor)
+}
+
+/// The eq. (23) scale factor computed without a solver handle — the
+/// SF-SGL Step 5. Each `x̃_i = L⁺ y_i` is evaluated as a polynomial of
+/// Laplacian matvecs (diagonally scaled conjugate-gradient recurrence on
+/// the mean-zero subspace): no factorization, no preconditioner setup,
+/// no [`SolverContext`](sgl_solver::SolverContext) — `handles_built` and
+/// `solves` stay untouched. The `M` measurement columns are independent
+/// and run through the deterministic `par` layer, so the result is
+/// bit-identical at any thread count and matches [`edge_scale_factor`]
+/// to the CG tolerance (relative residual `1e-4`).
+///
+/// Unlike the first-order [`rayleigh_scale_factor`] (exact only under a
+/// uniform misscale), this reproduces the solve-based factor on
+/// arbitrarily spectrally-distorted learned graphs.
+///
+/// # Errors
+/// Returns [`SglError::InvalidMeasurements`] when no current
+/// measurements are available, on node-count mismatch, or for a zero
+/// voltage column, and propagates CG breakdowns on disconnected or
+/// numerically degenerate graphs.
+pub fn solver_free_scale_factor(
+    graph: &Graph,
+    measurements: &Measurements,
+) -> Result<f64, SglError> {
+    let y = measurements.currents().ok_or_else(|| {
+        SglError::InvalidMeasurements(
+            "edge scaling needs current measurements (Y); construct with Measurements::new \
+             or disable scale_edges"
+                .into(),
+        )
+    })?;
+    if graph.num_nodes() != measurements.num_nodes() {
+        return Err(SglError::InvalidMeasurements(format!(
+            "graph has {} nodes but measurements have {}",
+            graph.num_nodes(),
+            measurements.num_nodes()
+        )));
+    }
+    let op = LaplacianOp::new(graph);
+    let pre = JacobiPreconditioner::from_diagonal(&graph.weighted_degrees());
+    let n = graph.num_nodes();
+    let opts = CgOptions {
+        rtol: SOLVER_FREE_RTOL,
+        max_iter: (20 * n).max(1_000),
+        project_mean: true,
+        ..CgOptions::default()
+    };
+    let m = measurements.num_measurements();
+    let ratios = par::try_map_indexed(m, 1, |i| -> Result<f64, SglError> {
+        let xi = measurements.voltage_vector(i);
+        let xi_norm_sq = vecops::norm2_sq(&xi);
+        if xi_norm_sq == 0.0 {
+            return Err(SglError::InvalidMeasurements(format!(
+                "voltage measurement {i} is identically zero"
+            )));
+        }
+        let sol = pcg_solve(&op, &pre, &y.column(i), &opts)?;
+        Ok(vecops::norm2_sq(&sol.x) / xi_norm_sq)
+    })?;
+    let factor = (ratios.iter().sum::<f64>() / m as f64).sqrt();
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(SglError::InvalidMeasurements(format!(
+            "degenerate edge scale factor {factor}"
+        )));
+    }
+    Ok(factor)
+}
+
+/// Apply the [`solver_free_scale_factor`] to `graph` in place, returning
+/// the factor — the solver-free Step 5.
+///
+/// # Errors
+/// See [`solver_free_scale_factor`].
+pub fn solver_free_edge_scaling(
+    graph: &mut Graph,
+    measurements: &Measurements,
+) -> Result<f64, SglError> {
+    let factor = solver_free_scale_factor(graph, measurements)?;
+    graph.scale_weights(factor);
+    Ok(factor)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +335,87 @@ mod tests {
         let meas = Measurements::generate(&truth, 5, 3).unwrap();
         let smaller = grid2d(3, 3);
         assert!(edge_scale_factor(&smaller, &meas).is_err());
+        assert!(rayleigh_scale_factor(&smaller, &meas).is_err());
+    }
+
+    #[test]
+    fn rayleigh_factor_recovers_uniform_weight_error() {
+        // Same contract as the solve-based factor: a uniformly 4×-too-
+        // small graph yields factor 4 — here exactly, since the Rayleigh
+        // ratio is 1/c under the uniform-misscale model.
+        let truth = grid2d(6, 6);
+        let meas = Measurements::generate(&truth, 20, 1).unwrap();
+        let mut learned = truth.clone();
+        learned.scale_weights(0.25);
+        let factor = rayleigh_edge_scaling(&mut learned, &meas).unwrap();
+        assert!(
+            (factor - 4.0).abs() < 1e-9,
+            "expected factor 4, got {factor}"
+        );
+        for (et, el) in truth.edges().iter().zip(learned.edges()) {
+            assert!((et.weight - el.weight).abs() < 1e-9);
+        }
+        // Perfect graph → factor 1, agreeing with the solve-based one.
+        let solve_based = edge_scale_factor(&truth, &meas).unwrap();
+        let rayleigh = rayleigh_scale_factor(&truth, &meas).unwrap();
+        assert!((rayleigh - 1.0).abs() < 1e-9, "got {rayleigh}");
+        assert!((rayleigh - solve_based).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_free_factor_matches_the_solve_based_one() {
+        // On a genuinely learned (spectrally distorted) graph the
+        // Rayleigh first-order factor drifts, but the matvec-CG factor
+        // must reproduce the solve-based eq. (23) value to the CG
+        // tolerance.
+        let truth = grid2d(10, 10);
+        let meas = crate::Measurements::generate(&truth, 25, 6).unwrap();
+        let cfg = crate::SglConfig::default()
+            .with_tol(1e-6)
+            .with_max_iterations(60)
+            .with_scale_edges(false);
+        let learned = crate::Sgl::new(cfg).learn(&meas).unwrap().graph;
+        let exact = edge_scale_factor(&learned, &meas).unwrap();
+        let free = solver_free_scale_factor(&learned, &meas).unwrap();
+        assert!(
+            (free / exact - 1.0).abs() < 1e-3,
+            "solver-free factor {free} vs solve-based {exact}"
+        );
+        // The in-place variant applies exactly that factor.
+        let mut scaled = learned.clone();
+        let applied = solver_free_edge_scaling(&mut scaled, &meas).unwrap();
+        assert_eq!(applied, free);
+        for (a, b) in learned.edges().iter().zip(scaled.edges()) {
+            assert!((a.weight * free - b.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solver_free_factor_is_thread_count_invariant() {
+        let truth = grid2d(7, 7);
+        let meas = crate::Measurements::generate(&truth, 12, 9).unwrap();
+        let serial =
+            sgl_linalg::par::with_threads(1, || solver_free_scale_factor(&truth, &meas).unwrap());
+        let parallel =
+            sgl_linalg::par::with_threads(4, || solver_free_scale_factor(&truth, &meas).unwrap());
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn solver_free_factor_requires_currents() {
+        let truth = grid2d(4, 4);
+        let meas = crate::Measurements::generate(&truth, 5, 3).unwrap();
+        let voltage_only = crate::Measurements::from_voltages(meas.voltages().clone()).unwrap();
+        assert!(solver_free_scale_factor(&truth, &voltage_only).is_err());
+        let smaller = grid2d(3, 3);
+        assert!(solver_free_scale_factor(&smaller, &meas).is_err());
+    }
+
+    #[test]
+    fn rayleigh_factor_requires_currents() {
+        let truth = grid2d(4, 4);
+        let meas = Measurements::generate(&truth, 5, 3).unwrap();
+        let voltage_only = Measurements::from_voltages(meas.voltages().clone()).unwrap();
+        assert!(rayleigh_scale_factor(&truth, &voltage_only).is_err());
     }
 }

@@ -36,16 +36,14 @@
 //! ```
 
 use crate::algorithm::{IterationRecord, LearnResult, StopVerdict};
-use crate::backend::{
-    CandidateScorer, EdgeScaler, EmbeddingBackend, LanczosBackend, SensitivityThreshold,
-    SpectralGradientScorer, SpectralScaler, StoppingRule,
-};
+use crate::backend::{CandidateScorer, EdgeScaler, EmbeddingBackend, StoppingRule};
 use crate::config::SglConfig;
 use crate::embedding::{Embedding, EmbeddingOptions};
 use crate::error::SglError;
 use crate::measure::Measurements;
-use crate::resistance::{build_resistance_estimator, ResistanceEstimator};
+use crate::resistance::{build_resistance_estimator, ResistanceEstimator, ResistanceMethod};
 use crate::sensitivity::CandidatePool;
+use crate::strategy::resolve_strategy;
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::{EdgeDelta, Graph};
 use sgl_knn::build_knn_graph;
@@ -134,6 +132,10 @@ pub struct SglSession<'m> {
     scorer: Box<dyn CandidateScorer>,
     stopping: Box<dyn StoppingRule>,
     scaler: Box<dyn EdgeScaler>,
+    /// Resistance estimator the strategy resolved for this session (the
+    /// solver-free strategy remaps solver-backed methods to the spectral
+    /// sketch).
+    resistance: ResistanceMethod,
     observers: Vec<Box<dyn SessionObserver>>,
 }
 
@@ -234,8 +236,15 @@ impl<'m> SglSession<'m> {
         let tree = maximum_spanning_tree(&knn_graph);
         let graph = tree.to_graph(&knn_graph);
         let pool = CandidatePool::from_off_tree(&knn_graph, &tree, &measurements);
-        let tol = config.tol;
         let solver = SolverContext::new(config.solver.clone());
+        // The strategy bundles the stage backends; `with_*` swaps still
+        // override individual stages afterwards.
+        let strategy = resolve_strategy(&config)?;
+        let backend = strategy.embedding_backend(&config);
+        let scorer = strategy.scorer(&config);
+        let stopping = strategy.stopping_rule(&config);
+        let scaler = strategy.edge_scaler(&config);
+        let resistance = strategy.resistance_method(&config);
         Ok(SglSession {
             config,
             measurements,
@@ -251,10 +260,11 @@ impl<'m> SglSession<'m> {
             halted: false,
             verdict: StopVerdict::InProgress,
             solver,
-            backend: Box::new(LanczosBackend),
-            scorer: Box::new(SpectralGradientScorer),
-            stopping: Box::new(SensitivityThreshold { tol }),
-            scaler: Box::new(SpectralScaler),
+            backend,
+            scorer,
+            stopping,
+            scaler,
+            resistance,
             observers: Vec::new(),
         })
     }
@@ -332,11 +342,13 @@ impl<'m> SglSession<'m> {
         &self.solver
     }
 
-    /// Materialize the configured [`ResistanceMethod`] for the *current*
-    /// learned graph. [`ExactSolve`] and [`JlSketch`] draw the shared
-    /// solver handle from the session's context;
+    /// Materialize the strategy-resolved [`ResistanceMethod`] for the
+    /// *current* learned graph. [`ExactSolve`] and [`JlSketch`] draw the
+    /// shared solver handle from the session's context;
     /// [`SpectralSketch`] stays solver-free, so a session configured
-    /// with it never constructs a Laplacian solver here.
+    /// with it — or running the solver-free strategy, which remaps the
+    /// solver-backed methods onto it — never constructs a Laplacian
+    /// solver here.
     ///
     /// The estimator snapshots the current revision — re-request it
     /// after further [`step`](SglSession::step)s.
@@ -352,7 +364,7 @@ impl<'m> SglSession<'m> {
         with_session_threads(self.config.parallelism, || {
             build_resistance_estimator(
                 &self.graph,
-                self.config.resistance,
+                self.resistance,
                 &mut self.solver,
                 self.config.seed,
             )
@@ -906,6 +918,19 @@ mod tests {
         );
         let last = strict.final_smax().unwrap();
         assert!(last < 1e-6, "strict rule ignored: final smax {last}");
+    }
+
+    #[test]
+    fn unregistered_solver_free_fails_at_init() {
+        use crate::strategy::LearnStrategyKind;
+        let truth = grid2d(6, 6);
+        let meas = Measurements::generate(&truth, 10, 20).unwrap();
+        let cfg = quick_config().with_strategy(LearnStrategyKind::SolverFree);
+        let err = SglSession::new(cfg, &meas).unwrap_err();
+        assert!(
+            err.to_string().contains("sgl_sfsgl::register"),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Pluggable learning strategies: how the densification loop obtains its
+//! spectral information.
+//!
+//! The SGL loop (Algorithm 1) is strategy-agnostic: Steps 2–5 only need
+//! an embedding, candidate scores, a stopping rule, and an edge scaler.
+//! A [`LearnStrategy`] bundles one coherent choice of those stage
+//! backends:
+//!
+//! * [`SolverStrategy`] — the classic solver-backed path: LOBPCG/Lanczos
+//!   embedding with shift-invert fallback through the session's
+//!   [`SolverContext`], solver-based Step-5
+//!   scaling, and the configured resistance estimator.
+//! * `SolverFreeStrategy` (in the `sgl-sfsgl` crate) — the SF-SGL path:
+//!   multilevel band-filtered embeddings, matvec-only scaling, and the
+//!   spectral-sketch resistance estimator. No Laplacian system is ever
+//!   solved and no factorization is ever built.
+//!
+//! The strategy is selected by data
+//! ([`SglConfig::builder().strategy(…)`](crate::SglConfigBuilder::strategy)),
+//! so the facade, the serving writer, `learn_multilevel`, and the
+//! benches run either path unchanged. Because `sgl-core` sits *below*
+//! `sgl-sfsgl` in the crate graph, the solver-free implementation
+//! registers itself here at startup ([`register_solver_free_strategy`],
+//! wrapped by `sgl_sfsgl::register()`); resolving
+//! [`LearnStrategyKind::SolverFree`] before registration is a
+//! configuration error with a pointer to that call.
+
+use crate::backend::{
+    CandidateScorer, EdgeScaler, EmbeddingBackend, LanczosBackend, SensitivityThreshold,
+    SpectralGradientScorer, SpectralScaler, StoppingRule,
+};
+use crate::config::SglConfig;
+use crate::error::SglError;
+use crate::measure::Measurements;
+use crate::refine::{refine_weights_with, RefineOptions, RefineRecord};
+use crate::resistance::ResistanceMethod;
+use sgl_graph::Graph;
+use sgl_solver::SolverContext;
+use std::sync::OnceLock;
+
+/// Which [`LearnStrategy`] a session should run — plain data, carried by
+/// [`SglConfig::strategy`](crate::SglConfig::strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LearnStrategyKind {
+    /// The solver-backed loop (the paper's Algorithm 1 as shipped since
+    /// PR 1): eigensolves may fall back to shift-invert through the
+    /// session's solver context, and Step 5 solves `L x̃ = y`.
+    #[default]
+    Solver,
+    /// The solver-free SF-SGL loop: every solve is replaced by filtered
+    /// matvecs. Requires the `sgl-sfsgl` crate (call
+    /// `sgl_sfsgl::register()` once, or construct sessions through that
+    /// crate's helpers / the `sgl` facade prelude).
+    SolverFree,
+}
+
+impl LearnStrategyKind {
+    /// Stable kebab-case label (for logs and bench JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LearnStrategyKind::Solver => "solver",
+            LearnStrategyKind::SolverFree => "solver-free",
+        }
+    }
+}
+
+/// One coherent bundle of stage backends for the learning loop.
+///
+/// Implementations must be cheap to construct — a session resolves its
+/// strategy once at init and a multilevel run once per V-cycle.
+pub trait LearnStrategy: std::fmt::Debug + Send + Sync {
+    /// Short diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// The kind this strategy implements.
+    fn kind(&self) -> LearnStrategyKind;
+
+    /// Step-2 embedding backend.
+    fn embedding_backend(&self, config: &SglConfig) -> Box<dyn EmbeddingBackend>;
+
+    /// Step-3 candidate scorer. Both shipped strategies score by eq. (13)
+    /// on the embedding, which is already solver-free.
+    fn scorer(&self, _config: &SglConfig) -> Box<dyn CandidateScorer> {
+        Box::new(SpectralGradientScorer)
+    }
+
+    /// Step-4 stopping rule.
+    fn stopping_rule(&self, config: &SglConfig) -> Box<dyn StoppingRule> {
+        Box::new(SensitivityThreshold { tol: config.tol })
+    }
+
+    /// Step-5 edge scaler.
+    fn edge_scaler(&self, config: &SglConfig) -> Box<dyn EdgeScaler>;
+
+    /// Which effective-resistance estimator sessions materialize; the
+    /// default honors the configured method unchanged.
+    fn resistance_method(&self, config: &SglConfig) -> ResistanceMethod {
+        config.resistance
+    }
+
+    /// Post-densification weight refinement (used by the multilevel
+    /// V-cycle between levels). The default is the solver-backed
+    /// JL-sketch fixed point of [`refine_weights_with`].
+    ///
+    /// # Errors
+    /// Propagates solver/estimator failures.
+    fn refine_weights(
+        &self,
+        graph: &mut Graph,
+        measurements: &Measurements,
+        opts: &RefineOptions,
+        ctx: &mut SolverContext,
+    ) -> Result<Vec<RefineRecord>, SglError> {
+        refine_weights_with(graph, measurements, opts, ctx)
+    }
+}
+
+/// The solver-backed strategy: exactly the stage backends sessions have
+/// always installed by default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStrategy;
+
+impl LearnStrategy for SolverStrategy {
+    fn name(&self) -> &'static str {
+        "solver"
+    }
+
+    fn kind(&self) -> LearnStrategyKind {
+        LearnStrategyKind::Solver
+    }
+
+    fn embedding_backend(&self, _config: &SglConfig) -> Box<dyn EmbeddingBackend> {
+        Box::new(LanczosBackend)
+    }
+
+    fn edge_scaler(&self, _config: &SglConfig) -> Box<dyn EdgeScaler> {
+        Box::new(SpectralScaler)
+    }
+}
+
+/// Factory signature for the registered solver-free strategy.
+pub type SolverFreeFactory = fn(&SglConfig) -> Box<dyn LearnStrategy>;
+
+static SOLVER_FREE_FACTORY: OnceLock<SolverFreeFactory> = OnceLock::new();
+
+/// Register the factory behind [`LearnStrategyKind::SolverFree`].
+/// Idempotent — the first registration wins; later calls are no-ops.
+/// Called by `sgl_sfsgl::register()`; downstream code should use that.
+pub fn register_solver_free_strategy(factory: SolverFreeFactory) {
+    let _ = SOLVER_FREE_FACTORY.set(factory);
+}
+
+/// Whether a solver-free factory has been registered in this process.
+pub fn solver_free_registered() -> bool {
+    SOLVER_FREE_FACTORY.get().is_some()
+}
+
+/// Resolve the strategy selected by `config.strategy`.
+///
+/// # Errors
+/// Returns [`SglError::InvalidConfig`] when
+/// [`LearnStrategyKind::SolverFree`] is requested but no factory has
+/// been registered (the `sgl-sfsgl` crate was never initialized).
+pub fn resolve_strategy(config: &SglConfig) -> Result<Box<dyn LearnStrategy>, SglError> {
+    match config.strategy {
+        LearnStrategyKind::Solver => Ok(Box::new(SolverStrategy)),
+        LearnStrategyKind::SolverFree => match SOLVER_FREE_FACTORY.get() {
+            Some(factory) => Ok(factory(config)),
+            None => Err(SglError::InvalidConfig(
+                "solver-free strategy requested but not registered: call \
+                 sgl_sfsgl::register() once at startup (or construct the session \
+                 through sgl_sfsgl / the sgl facade prelude)"
+                    .into(),
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(LearnStrategyKind::default(), LearnStrategyKind::Solver);
+        assert_eq!(LearnStrategyKind::Solver.as_str(), "solver");
+        assert_eq!(LearnStrategyKind::SolverFree.as_str(), "solver-free");
+    }
+
+    #[test]
+    fn solver_strategy_matches_session_defaults() {
+        let cfg = SglConfig::default();
+        let s = resolve_strategy(&cfg).unwrap();
+        assert_eq!(s.name(), "solver");
+        assert_eq!(s.kind(), LearnStrategyKind::Solver);
+        // The bundled backends are the historical session defaults.
+        assert_eq!(format!("{:?}", s.embedding_backend(&cfg)), "LanczosBackend");
+        assert_eq!(format!("{:?}", s.edge_scaler(&cfg)), "SpectralScaler");
+        assert_eq!(format!("{:?}", s.scorer(&cfg)), "SpectralGradientScorer");
+        assert_eq!(s.resistance_method(&cfg), cfg.resistance);
+    }
+
+    #[test]
+    fn unregistered_solver_free_is_a_config_error() {
+        // Note: sgl-core's own test binary never registers a factory, so
+        // resolution must fail with actionable guidance. (Crates that do
+        // register — sgl-sfsgl and above — test the success path.)
+        let cfg = SglConfig::default().with_strategy(LearnStrategyKind::SolverFree);
+        let err = resolve_strategy(&cfg).unwrap_err();
+        assert!(
+            err.to_string().contains("sgl_sfsgl::register"),
+            "unhelpful error: {err}"
+        );
+    }
+}

@@ -17,8 +17,12 @@
 //! workspace determinism contract (all of this workspace's operators do).
 
 use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::lanczos::SpectralPairs;
 use crate::operator::LinearOperator;
+use crate::qr::orthonormalize_columns;
 use crate::rng::Rng;
+use crate::symeig::SymEig;
 use crate::vecops;
 
 /// Options for [`smoothed_test_vectors`].
@@ -108,6 +112,219 @@ pub fn smoothed_test_vectors(
         out.set_column(j, &x);
     }
     out
+}
+
+/// Options for [`band_decompose`]: a telescoping cascade of weighted-
+/// Jacobi low-pass stages.
+#[derive(Debug, Clone)]
+pub struct BandSplitOptions {
+    /// Number of frequency bands (≥ 1). Band 0 holds the roughest
+    /// components; the last band is the smooth residual.
+    pub bands: usize,
+    /// Jacobi sweeps applied between consecutive band cutoffs (≥ 1);
+    /// more sweeps push the cutoffs lower.
+    pub sweeps_per_band: usize,
+    /// Damping factor `ω` of the Jacobi sweep.
+    pub omega: f64,
+}
+
+impl Default for BandSplitOptions {
+    fn default() -> Self {
+        BandSplitOptions {
+            bands: 4,
+            sweeps_per_band: 3,
+            omega: 2.0 / 3.0,
+        }
+    }
+}
+
+/// Split `signal` into `opts.bands` spectral-domain frequency bands of
+/// the operator `A` (with positive diagonal `diag`), telescoping over a
+/// cascade of weighted-Jacobi smoothers `S`:
+///
+/// ```text
+/// x = (I − S)x + (S − S²)x + … + S^{B−1}x,
+/// ```
+///
+/// where each application of `S` is `opts.sweeps_per_band` damped Jacobi
+/// sweeps. Band `b` captures the components the `b`-th smoothing stage
+/// removed (rough → smooth with increasing `b`), and the bands **sum
+/// back to `signal` exactly** by construction — the reconstruction
+/// identity SF-SGL's measurement decomposition rests on. Deterministic,
+/// matvec-only, and bit-identical at any ambient thread count (same
+/// contract as [`smoothed_test_vectors`]).
+///
+/// # Panics
+/// Panics if `diag` or `signal` length mismatches `a.dim()`, if
+/// `bands == 0` or `sweeps_per_band == 0`, if a diagonal entry is not
+/// positive and finite, or if `omega` is not in `(0, 1]`.
+pub fn band_decompose(
+    a: &impl LinearOperator,
+    diag: &[f64],
+    signal: &[f64],
+    opts: &BandSplitOptions,
+) -> Vec<Vec<f64>> {
+    let n = a.dim();
+    assert_eq!(diag.len(), n, "band split: diagonal length mismatch");
+    assert_eq!(signal.len(), n, "band split: signal length mismatch");
+    assert!(opts.bands >= 1, "band split: need at least one band");
+    assert!(
+        opts.sweeps_per_band >= 1,
+        "band split: need at least one sweep per band"
+    );
+    assert!(
+        opts.omega > 0.0 && opts.omega <= 1.0,
+        "band split: omega must lie in (0, 1], got {}",
+        opts.omega
+    );
+    let inv_diag: Vec<f64> = diag
+        .iter()
+        .map(|&d| {
+            assert!(
+                d > 0.0 && d.is_finite(),
+                "band split: diagonal entries must be positive and finite, got {d}"
+            );
+            1.0 / d
+        })
+        .collect();
+    let mut smooth = signal.to_vec();
+    let mut ax = vec![0.0; n];
+    let mut out = Vec::with_capacity(opts.bands);
+    for _ in 0..opts.bands - 1 {
+        let mut next = smooth.clone();
+        for _ in 0..opts.sweeps_per_band {
+            a.apply(&next, &mut ax);
+            for i in 0..n {
+                next[i] -= opts.omega * inv_diag[i] * ax[i];
+            }
+        }
+        out.push(smooth.iter().zip(&next).map(|(s, x)| s - x).collect());
+        smooth = next;
+    }
+    out.push(smooth);
+    out
+}
+
+/// Options for [`filtered_spectrum`].
+#[derive(Debug, Clone)]
+pub struct FilteredSpectrumOptions {
+    /// Low-pass filter for the freshly seeded block columns.
+    pub filter: FilterOptions,
+    /// Extra subspace columns beyond the requested pair count — a few
+    /// spares sharpen the low Ritz pairs substantially.
+    pub oversample: usize,
+    /// Column drop tolerance of the orthonormalization (near-dependent
+    /// basis columns are discarded, not inverted).
+    pub drop_tol: f64,
+}
+
+impl Default for FilteredSpectrumOptions {
+    fn default() -> Self {
+        FilteredSpectrumOptions {
+            filter: FilterOptions::default(),
+            oversample: 4,
+            drop_tol: 1e-10,
+        }
+    }
+}
+
+/// Approximate the `k` smallest *nontrivial* eigenpairs of a
+/// Laplacian-like operator `A` from low-pass filtered test vectors alone
+/// — no solver, no factorization, only matvecs: a filtered block is
+/// orthonormalized and the small projected problem `QᵀAQ` is solved
+/// densely (Rayleigh–Ritz). The constant null vector is projected out of
+/// every basis column, so the returned values approximate `λ₂ ≤ … ≤
+/// λ_{k+1}` from above.
+///
+/// `basis` optionally supplies extra subspace columns — prolonged
+/// coarse-level band vectors, a warm-start block from a previous call —
+/// which are mean-projected, normalized, and enriched with freshly
+/// seeded filtered vectors up to `k + opts.oversample` total columns.
+/// This is the one spectral-sketch kernel shared by the solver-free
+/// learning strategy and the resistance `SpectralSketch`.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidInput`] when `k` exceeds `dim − 1`, on
+/// a `basis` row-count mismatch, or when the filtered subspace collapses
+/// below `k` independent columns.
+pub fn filtered_spectrum(
+    a: &impl LinearOperator,
+    diag: &[f64],
+    k: usize,
+    basis: Option<&DenseMatrix>,
+    opts: &FilteredSpectrumOptions,
+) -> Result<SpectralPairs, LinalgError> {
+    let n = a.dim();
+    if k == 0 {
+        return Ok(SpectralPairs {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(n, 0),
+        });
+    }
+    let usable = n.saturating_sub(1);
+    if k > usable {
+        return Err(LinalgError::InvalidInput(format!(
+            "filtered spectrum: requested {k} pairs but only {usable} exist beside the null space"
+        )));
+    }
+    if let Some(b) = basis {
+        if b.nrows() != n {
+            return Err(LinalgError::InvalidInput(format!(
+                "filtered spectrum: basis has {} rows, operator dimension is {n}",
+                b.nrows()
+            )));
+        }
+    }
+    // Collect caller columns first (mean-projected and normalized so a
+    // wildly scaled warm start cannot swamp the orthonormalization).
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    if let Some(b) = basis {
+        for j in 0..b.ncols() {
+            let mut col = b.column(j);
+            vecops::project_out_mean(&mut col);
+            if vecops::normalize(&mut col) > 0.0 {
+                columns.push(col);
+            }
+        }
+    }
+    // Enrich with freshly seeded filtered vectors up to the target
+    // subspace size (always at least a couple, so a degenerate basis
+    // still yields an independent block).
+    let target = (k + opts.oversample).min(usable.max(k));
+    let fresh = target.saturating_sub(columns.len()).max(2);
+    let generated = smoothed_test_vectors(
+        a,
+        diag,
+        &FilterOptions {
+            count: fresh,
+            ..opts.filter.clone()
+        },
+    );
+    for j in 0..generated.ncols() {
+        columns.push(generated.column(j));
+    }
+    let block = DenseMatrix::from_columns(&columns);
+    let q = orthonormalize_columns(&block, opts.drop_tol);
+    let m = q.ncols();
+    if m < k {
+        return Err(LinalgError::InvalidInput(format!(
+            "filtered spectrum: subspace collapsed to {m} columns, need {k}"
+        )));
+    }
+    // Small projected problem T = QᵀAQ (m ≈ k + oversample).
+    let mut aq = DenseMatrix::zeros(n, m);
+    let mut av = vec![0.0; n];
+    for j in 0..m {
+        a.apply(&q.column(j), &mut av);
+        aq.set_column(j, &av);
+    }
+    let t = q.gram_with(&aq);
+    let eig = SymEig::compute(&t)?;
+    // Lift the k lowest Ritz pairs back to full dimension.
+    let yk = DenseMatrix::from_fn(m, k, |i, j| eig.vectors.get(i, j));
+    let vectors = q.matmul(&yk);
+    let values = eig.values[..k].to_vec();
+    Ok(SpectralPairs { values, vectors })
 }
 
 #[cfg(test)]
@@ -200,5 +417,199 @@ mod tests {
                 ..FilterOptions::default()
             },
         );
+    }
+
+    #[test]
+    fn rayleigh_attenuation_is_monotone_in_sweeps() {
+        // Property (swept over seeds): each extra block of Jacobi sweeps
+        // attenuates the high-frequency content further — the mean
+        // Rayleigh quotient of the filtered block never increases along
+        // a sweep ladder, and drops strictly from the unsmoothed start.
+        let (l, d) = path_laplacian(90);
+        for seed in [1u64, 42, 0xF117, 9999] {
+            let mean_rq = |sweeps: usize| {
+                let f = smoothed_test_vectors(
+                    &l,
+                    &d,
+                    &FilterOptions {
+                        sweeps,
+                        seed,
+                        ..FilterOptions::default()
+                    },
+                );
+                (0..f.ncols())
+                    .map(|j| l.quadratic_form(&f.column(j)))
+                    .sum::<f64>()
+                    / f.ncols() as f64
+            };
+            let ladder: Vec<f64> = [0usize, 1, 2, 4, 8, 16]
+                .iter()
+                .map(|&s| mean_rq(s))
+                .collect();
+            for w in ladder.windows(2) {
+                assert!(
+                    w[1] <= w[0] * (1.0 + 1e-12),
+                    "seed {seed}: attenuation not monotone: {ladder:?}"
+                );
+            }
+            assert!(
+                *ladder.last().unwrap() < 0.2 * ladder[0],
+                "seed {seed}: 16 sweeps attenuated too little: {ladder:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_decomposition_reconstructs_signal() {
+        // Property (swept over seeds and band counts): the telescoping
+        // bands sum back to the original signal exactly.
+        let (l, d) = path_laplacian(70);
+        for seed in [3u64, 17, 0xBEEF] {
+            let mut rng = crate::rng::Rng::seed_from_u64(seed);
+            let signal = rng.normal_vec(70);
+            for bands in [1usize, 2, 4, 7] {
+                let split = band_decompose(
+                    &l,
+                    &d,
+                    &signal,
+                    &BandSplitOptions {
+                        bands,
+                        ..BandSplitOptions::default()
+                    },
+                );
+                assert_eq!(split.len(), bands);
+                let mut sum = vec![0.0; signal.len()];
+                for band in &split {
+                    vecops::axpy(1.0, band, &mut sum);
+                }
+                let err = sum
+                    .iter()
+                    .zip(&signal)
+                    .map(|(s, x)| (s - x).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    err < 1e-10,
+                    "seed {seed}, {bands} bands: reconstruction error {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bands_order_rough_to_smooth() {
+        // The first band carries the roughest components, the last the
+        // smoothest: normalized Rayleigh quotients drop across the split.
+        let (l, d) = path_laplacian(80);
+        let mut rng = crate::rng::Rng::seed_from_u64(11);
+        let signal = rng.normal_vec(80);
+        let split = band_decompose(&l, &d, &signal, &BandSplitOptions::default());
+        let nrq = |band: &[f64]| {
+            let norm_sq = vecops::norm2_sq(band);
+            assert!(norm_sq > 0.0, "degenerate band");
+            l.quadratic_form(band) / norm_sq
+        };
+        let first = nrq(&split[0]);
+        let last = nrq(split.last().unwrap());
+        assert!(
+            last < 0.5 * first,
+            "bands not frequency-ordered: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "band")]
+    fn zero_bands_panics() {
+        let (l, d) = path_laplacian(6);
+        band_decompose(
+            &l,
+            &d,
+            &[1.0; 6],
+            &BandSplitOptions {
+                bands: 0,
+                ..BandSplitOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn filtered_spectrum_tracks_exact_eigenpairs() {
+        // Rayleigh–Ritz from a well-filtered block brackets the exact
+        // smallest nontrivial eigenvalues from above, within a modest
+        // relative margin.
+        let n = 60;
+        let (l, d) = path_laplacian(n);
+        let exact = SymEig::compute(&l.to_dense()).unwrap();
+        let k = 4;
+        let pairs = filtered_spectrum(
+            &l,
+            &d,
+            k,
+            None,
+            &FilteredSpectrumOptions {
+                filter: FilterOptions {
+                    count: 8,
+                    sweeps: 24,
+                    ..FilterOptions::default()
+                },
+                oversample: 8,
+                ..FilteredSpectrumOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pairs.values.len(), k);
+        assert_eq!(pairs.vectors.ncols(), k);
+        for j in 0..k {
+            // exact.values[0] ≈ 0 is the deflated constant mode.
+            let truth = exact.values[j + 1];
+            let ritz = pairs.values[j];
+            assert!(
+                ritz >= truth - 1e-10,
+                "Ritz value below exact: {ritz} vs {truth}"
+            );
+            assert!(
+                (ritz - truth) / truth < 0.25,
+                "Ritz value {j} too loose: {ritz} vs {truth}"
+            );
+            // The lifted vector is unit-norm and mean-free.
+            let v = pairs.vectors.column(j);
+            assert!((vecops::norm2(&v) - 1.0).abs() < 1e-8);
+            assert!(vecops::mean(&v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn filtered_spectrum_sharpens_with_a_good_basis() {
+        // Feeding the exact eigenvectors as the caller basis makes the
+        // Ritz extraction essentially exact — the warm-start contract the
+        // solver-free embedding backend relies on between iterations.
+        let n = 50;
+        let (l, d) = path_laplacian(n);
+        let exact = SymEig::compute(&l.to_dense()).unwrap();
+        let k = 3;
+        let basis = DenseMatrix::from_fn(n, k, |i, j| exact.vectors.get(i, j + 1));
+        let pairs = filtered_spectrum(&l, &d, k, Some(&basis), &FilteredSpectrumOptions::default())
+            .unwrap();
+        for j in 0..k {
+            let truth = exact.values[j + 1];
+            assert!(
+                (pairs.values[j] - truth).abs() < 1e-8 * truth.max(1.0),
+                "warm basis not exact: {} vs {truth}",
+                pairs.values[j]
+            );
+        }
+        // Degenerate requests are rejected, empty requests are empty.
+        assert!(filtered_spectrum(&l, &d, n, None, &FilteredSpectrumOptions::default()).is_err());
+        let none = filtered_spectrum(&l, &d, 0, None, &FilteredSpectrumOptions::default()).unwrap();
+        assert!(none.values.is_empty());
+    }
+
+    #[test]
+    fn filtered_spectrum_is_deterministic() {
+        let (l, d) = path_laplacian(40);
+        let run =
+            || filtered_spectrum(&l, &d, 3, None, &FilteredSpectrumOptions::default()).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.vectors.as_slice(), b.vectors.as_slice());
     }
 }

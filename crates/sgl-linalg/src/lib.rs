@@ -58,7 +58,10 @@ pub use cg::{
 pub use cholesky::CholeskyFactor;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use filter::{smoothed_test_vectors, FilterOptions};
+pub use filter::{
+    band_decompose, filtered_spectrum, smoothed_test_vectors, BandSplitOptions, FilterOptions,
+    FilteredSpectrumOptions,
+};
 pub use lanczos::{
     lanczos, lanczos_largest, lanczos_smallest, lanczos_with, LanczosOptions, LanczosWorkspace,
     SpectralPairs,

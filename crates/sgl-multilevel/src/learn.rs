@@ -23,7 +23,7 @@
 //!    (embed → score → add), warm-started from the prolonged coarse
 //!    embedding (nested iteration) and run at a scoring-grade
 //!    eigensolver tolerance;
-//! 3. **refine** — bounded [`refine_weights_with`] sweeps toward the
+//! 3. **refine** — bounded [`refine_weights_with`](sgl_core::refine_weights_with) sweeps toward the
 //!    `η = 1` stationarity point;
 //! 4. optionally **prune** back to a target density by
 //!    resistance-leverage sampling.
@@ -38,11 +38,10 @@
 use crate::coarsen::Coarsening;
 use crate::hierarchy::{HierarchyOptions, MultilevelHierarchy};
 use crate::sparsify::{sparsify_by_resistance, SparsifyOptions};
-use sgl_core::embedding::{spectral_embedding_ctx, EmbeddingOptions};
-use sgl_core::scaling::spectral_edge_scaling_with;
+use sgl_core::embedding::EmbeddingOptions;
 use sgl_core::{
-    refine_weights_with, CandidatePool, LearnResult, Measurements, RefineOptions, SglConfig,
-    SglError, SglSession,
+    resolve_strategy, CandidatePool, EmbeddingBackend, LearnResult, LearnStrategy, Measurements,
+    RefineOptions, SglConfig, SglError, SglSession,
 };
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::{EdgeDelta, Graph};
@@ -230,6 +229,12 @@ fn learn_inner(
     candidate: Graph,
     opts: &MultilevelOptions,
 ) -> Result<MultilevelResult, SglError> {
+    // One strategy drives the whole V-cycle: the coarse session resolves
+    // it itself from the config, and the upward sweep's embeds, weight
+    // refinement, and finest-level Step 5 all route through it — so a
+    // solver-free config keeps the entire multilevel run at
+    // `solves == 0` / `handles_built == 0`.
+    let strategy = resolve_strategy(config)?;
     let hierarchy = MultilevelHierarchy::build(
         &candidate,
         config.coarsening_ratio,
@@ -317,13 +322,14 @@ fn learn_inner(
                 config,
                 opts,
                 warm_coords.take(),
+                strategy.as_ref(),
                 &mut ctx,
             )?;
             densified = added;
             warm_coords = next_warm;
         }
         if opts.refine.rounds > 0 {
-            refine_weights_with(&mut fine, &level_meas[l], &opts.refine, &mut ctx)?;
+            strategy.refine_weights(&mut fine, &level_meas[l], &opts.refine, &mut ctx)?;
         }
         let mut pruned = 0;
         if let Some(target) = opts.target_density {
@@ -353,14 +359,13 @@ fn learn_inner(
         current = fine;
     }
 
-    // Step 5 at the finest level, exactly like the flat pipeline; the
-    // uniform rescale is absorbed by the context ((c·L)⁺ = L⁺/c), not
-    // refactored.
-    let scale_factor = if config.scale_edges && measurements.currents().is_some() {
-        let handle = ctx.handle_for(&current)?;
-        let factor = spectral_edge_scaling_with(&mut current, measurements, handle.as_ref())?;
-        ctx.apply_scale(&current, factor);
-        Some(factor)
+    // Step 5 at the finest level, exactly like the flat pipeline: the
+    // strategy's scaler (solver-backed or matvec-only) applies the
+    // global factor and keeps the context consistent.
+    let scale_factor = if config.scale_edges {
+        strategy
+            .edge_scaler(config)
+            .scale(&mut current, measurements, &mut ctx)?
     } else {
         None
     };
@@ -398,8 +403,10 @@ fn prolong_coords(coarse: &DenseMatrix, coarsening: &Coarsening) -> DenseMatrix 
 /// flat loop's Steps 2–3 (embed → score → add top `⌈N β⌉` above
 /// tolerance) over the candidates not yet in `graph`, with the
 /// eigensolver warm-started from `warm_coords` (and then from each
-/// sweep's own block). Returns the number of edges added and the last
-/// embedding block for the next level's warm start.
+/// sweep's own block). Embeds run through the strategy's Step-2 backend.
+/// Returns the number of edges added and the last embedding block for
+/// the next level's warm start.
+#[allow(clippy::too_many_arguments)]
 fn densify_level(
     graph: &mut Graph,
     candidate: &Graph,
@@ -407,6 +414,7 @@ fn densify_level(
     config: &SglConfig,
     opts: &MultilevelOptions,
     warm_coords: Option<DenseMatrix>,
+    strategy: &dyn LearnStrategy,
     ctx: &mut SolverContext,
 ) -> Result<(usize, Option<DenseMatrix>), SglError> {
     let n = graph.num_nodes();
@@ -416,6 +424,7 @@ fn densify_level(
         max_iter: config.eig_max_iter,
         seed: config.seed,
     };
+    let backend: Box<dyn EmbeddingBackend> = strategy.embedding_backend(config);
     let per_iter = ((n as f64 * config.beta * opts.densify_boost.max(1.0)).ceil() as usize).max(1);
     let mut pool = CandidatePool::from_graph_excluding(candidate, graph, measurements);
     let mut warm = warm_coords.filter(|c| c.ncols() == width);
@@ -425,7 +434,7 @@ fn densify_level(
             break;
         }
         let embedding =
-            spectral_embedding_ctx(graph, width, config.shift(), &emb_opts, warm.as_ref(), ctx)?;
+            backend.embed(graph, width, config.shift(), &emb_opts, warm.as_ref(), ctx)?;
         let sens = pool.sensitivities(&embedding);
         let smax = sens.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         warm = Some(embedding.coords);

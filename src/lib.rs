@@ -14,6 +14,9 @@
 //! * [`sgl_multilevel`] — spectral coarsening: hierarchy construction,
 //!   coarse-level learning ([`learn_multilevel`](sgl_multilevel::learn_multilevel)),
 //!   resistance-based sparsification.
+//! * [`sgl_sfsgl`] — the solver-free learning strategy (SF-SGL): banded
+//!   multilevel embeddings and matvec-only scaling/resistances behind
+//!   [`LearnStrategyKind::SolverFree`](sgl_core::LearnStrategyKind).
 //! * [`sgl_baseline`] — kNN and dense graphical-Lasso-style baselines.
 //! * [`sgl_serve`] — concurrent snapshot-based query serving with
 //!   streaming measurement ingest ([`SglServer`](sgl_serve::SglServer)).
@@ -89,6 +92,36 @@
 //! See the README's *Multilevel learning* section for the determinism
 //! contract and when to prefer it over flat `Sgl::learn`.
 //!
+//! # Solver-free learning
+//!
+//! The classic loop leans on a Laplacian solver in three places: the
+//! shift-invert embedding fallback, the Step-5 edge scaling, and the JL
+//! resistance sketch. The SF-SGL strategy replaces all three with pure
+//! matvec arithmetic — banded multilevel embeddings, a diagonally
+//! scaled CG recurrence, the truncated-spectrum sketch — so a full
+//! learn finishes with **zero** solves and **zero** solver handles.
+//! Register the strategy once, then select it by config; every entry
+//! point honors it:
+//!
+//! ```
+//! use sgl::prelude::*;
+//!
+//! sgl_sfsgl::register();
+//! let truth = sgl_datasets::grid2d(8, 8);
+//! let meas = Measurements::generate(&truth, 20, 42).unwrap();
+//! let cfg = SglConfig::builder()
+//!     .tol(1e-4)
+//!     .strategy(LearnStrategyKind::SolverFree)
+//!     .build().unwrap();
+//! let result = Sgl::new(cfg).learn(&meas).unwrap();
+//! assert_eq!(result.solver_stats.solves, 0); // no system was ever solved
+//! ```
+//!
+//! See `examples/solver_free_learning.rs` for the solver vs solver-free
+//! A/B (and `bench_learn`'s `strategy_ab` rows for the tracked
+//! agreement numbers), and the README's *Solver-free learning* section
+//! for how the band decomposition works.
+//!
 //! # Parallelism
 //!
 //! Every parallel stage — kNN table builds, batched Laplacian solves,
@@ -140,14 +173,16 @@ pub use sgl_knn;
 pub use sgl_linalg;
 pub use sgl_multilevel;
 pub use sgl_serve;
+pub use sgl_sfsgl;
 pub use sgl_solver;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sgl_core::{
-        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, Measurements, PolicyMethod,
-        ResistanceEstimator, ResistanceMethod, SessionObserver, Sgl, SglConfig, SglSession,
-        SolverPolicy, StepOutcome, StopVerdict,
+        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, LearnStrategy,
+        LearnStrategyKind, Measurements, PolicyMethod, ResistanceEstimator, ResistanceMethod,
+        SessionObserver, Sgl, SglConfig, SglSession, SolverPolicy, SolverStrategy, StepOutcome,
+        StopVerdict,
     };
     pub use sgl_graph::Graph;
     pub use sgl_multilevel::{
