@@ -38,9 +38,14 @@
 //!   lands within 5% first-6 eigenvalue error (correlation ≥ 0.99) of
 //!   the solver arm;
 //! * the multilevel hierarchy is bit-identical across thread counts.
+//! * the resilience contract — an interrupt/checkpoint/restore run
+//!   continues bit-identical to the uninterrupted one, and a run under
+//!   a seeded [`FaultPlan`] (preconditioner breakdown, PCG stagnation,
+//!   Woodbury singularity) still converges to the fault-free graph
+//!   (identical edge set, weights within 1e-6).
 //!
 //! Usage: `bench_learn [--threads N] [--m 30] [--iters 60] [--tol 1e-4]
-//! [--quick] [--ml-side S] [--schema-against PATH]`
+//! [--quick] [--ml-side S] [--fault-seed S] [--schema-against PATH]`
 //!
 //! `--schema-against` compares the emitted JSON's key set against a
 //! tracked snapshot and fails on drift (the CI smoke check).
@@ -48,8 +53,8 @@
 use sgl_bench::{banner, fix, repro_dir, sci, time, Args, Table};
 use sgl_core::resistance::sample_node_pairs;
 use sgl_core::{
-    compare_spectra, LearnResult, LearnStrategyKind, Measurements, SglConfig, SglSession,
-    SpectrumMethod, StopVerdict,
+    compare_spectra, FaultPlan, LearnResult, LearnStrategyKind, Measurements, SglConfig,
+    SglSession, SpectrumMethod, StopVerdict,
 };
 use sgl_datasets::delaunay::{delaunay, Point};
 use sgl_graph::Graph;
@@ -414,6 +419,144 @@ fn refreshes(r: &RevisionStats) -> usize {
     r.refreshes_on_rank + r.refreshes_on_iters + r.refreshes_on_numeric
 }
 
+/// The resilience arm: interrupt/checkpoint/restore plus a seeded-fault
+/// rerun, both on the grid scenario against its fault-free serial row.
+struct ResilienceBench {
+    nodes: usize,
+    /// Iteration at which the session was checkpointed.
+    checkpoint_iteration: usize,
+    checkpoint_bytes: u64,
+    checkpoint_write_s: f64,
+    restore_s: f64,
+    /// Restore-then-continue learned the same graph, bit for bit, as
+    /// the uninterrupted continuation.
+    resumed: bool,
+    /// Faults the seeded plan actually fired.
+    faults_injected: usize,
+    fault_kinds: Vec<&'static str>,
+    precond_downgrades: usize,
+    fallbacks_taken: usize,
+    /// Per-iteration resistance probes dropped because an injected
+    /// fault surfaced through the telemetry path (learning continued).
+    probe_failures: usize,
+    fault_run_converged: bool,
+    /// Max relative weight drift of the faulted run vs. the fault-free
+    /// reference (identical edge sets asserted).
+    max_weight_rel_diff: f64,
+}
+
+fn run_resilience_bench(
+    scenario: &Scenario,
+    config: &SglConfig,
+    reference: &Run,
+    fault_seed: u64,
+) -> ResilienceBench {
+    let cfg = config.clone().with_parallelism(1);
+
+    // --- Interrupt & resume -------------------------------------------
+    // Step a session partway, checkpoint it, and race the continuation
+    // against a restore-from-disk. Both must finish bit-identical.
+    let mut live = SglSession::new(cfg.clone(), &scenario.meas).expect("session");
+    let checkpoint_iteration = 3usize;
+    for _ in 0..checkpoint_iteration {
+        if live.is_done() {
+            break;
+        }
+        live.step().expect("pre-checkpoint step");
+    }
+    let ckpt = repro_dir().join("bench_learn_interrupt.sglck");
+    let ((), checkpoint_write_s) = time(|| live.checkpoint(&ckpt).expect("checkpoint"));
+    let checkpoint_bytes = std::fs::metadata(&ckpt).map(|m| m.len()).unwrap_or(0);
+    let (restored, restore_s) = time(|| SglSession::restore(&ckpt, cfg.clone()).expect("restore"));
+    let mut restored = restored;
+    live.run_to_completion().expect("continue after checkpoint");
+    restored.run_to_completion().expect("resume from disk");
+    let continued = live.finish().expect("finish continued");
+    let resumed_result = restored.finish().expect("finish resumed");
+    std::fs::remove_file(&ckpt).ok();
+    let resumed = continued.graph.num_edges() == resumed_result.graph.num_edges()
+        && continued
+            .graph
+            .edges()
+            .iter()
+            .zip(resumed_result.graph.edges())
+            .all(|(a, b)| (a.u, a.v) == (b.u, b.v) && a.weight.to_bits() == b.weight.to_bits())
+        && continued.trace == resumed_result.trace
+        && continued.scale_factor.map(f64::to_bits)
+            == resumed_result.scale_factor.map(f64::to_bits);
+    assert!(
+        resumed,
+        "grid: restore-from-checkpoint diverged from the uninterrupted continuation"
+    );
+
+    // --- Seeded-fault run ---------------------------------------------
+    // The standard seeded schedule fires on the probe workload's solver
+    // traffic (handle builds, solves, delta corrections). Probes that a
+    // fault reaches are dropped and counted; learning itself recovers
+    // through the ladder and must land on the fault-free graph.
+    let plan = std::sync::Arc::new(FaultPlan::seeded(fault_seed));
+    let probes = sample_node_pairs(scenario.meas.num_nodes(), PROBES_PER_ITER, 0x9E0B);
+    let mut probe_failures = 0usize;
+    let mut session = SglSession::new(cfg, &scenario.meas).expect("faulted session");
+    session.set_fault_plan(std::sync::Arc::clone(&plan));
+    while !session.is_done() {
+        session.step().expect("faulted learning");
+        if !session.is_done() {
+            let probed = session
+                .resistance_estimator()
+                .and_then(|est| est.resistances(&probes));
+            if probed.is_err() {
+                probe_failures += 1;
+            }
+        }
+    }
+    let faulted = session.finish().expect("faulted finish");
+    assert_eq!(
+        faulted.graph.num_edges(),
+        reference.result.graph.num_edges(),
+        "grid: faulted run learned a different edge count"
+    );
+    let mut max_rel = 0.0f64;
+    for (ea, eb) in reference
+        .result
+        .graph
+        .edges()
+        .iter()
+        .zip(faulted.graph.edges())
+    {
+        assert_eq!(
+            (ea.u, ea.v),
+            (eb.u, eb.v),
+            "grid: faulted run learned a different topology"
+        );
+        max_rel = max_rel.max((ea.weight - eb.weight).abs() / ea.weight.abs().max(1e-300));
+    }
+    assert!(
+        max_rel <= 1e-6,
+        "grid: faulted run drifted {max_rel:.3e} past the 1e-6 equivalence gate"
+    );
+    assert!(
+        plan.injected_count() >= 1,
+        "grid: the seeded fault plan never fired — no solver traffic reached it"
+    );
+
+    ResilienceBench {
+        nodes: scenario.nodes,
+        checkpoint_iteration,
+        checkpoint_bytes,
+        checkpoint_write_s,
+        restore_s,
+        resumed,
+        faults_injected: plan.injected_count(),
+        fault_kinds: plan.injected().iter().map(|e| e.kind.as_str()).collect(),
+        precond_downgrades: faulted.revision_stats.precond_downgrades,
+        fallbacks_taken: faulted.fallbacks_taken,
+        probe_failures,
+        fault_run_converged: faulted.converged,
+        max_weight_rel_diff: max_rel,
+    }
+}
+
 /// Extract the sorted set of JSON object keys (`"key":`) — the schema
 /// fingerprint the CI smoke run diffs against the tracked snapshot.
 fn json_keys(text: &str) -> Vec<String> {
@@ -445,6 +588,7 @@ fn main() {
     let iters: usize = args.get("iters", if quick { 40 } else { 60 });
     let tol: f64 = args.get("tol", 1e-4);
     let ml_side: usize = args.get("ml-side", if quick { 40 } else { 224 });
+    let fault_seed: u64 = args.get("fault-seed", 42);
     // The deterministic par layer is happy to oversubscribe (the
     // determinism contract is thread-count independent), but record the
     // host's real parallelism so the tracked timings are interpretable.
@@ -659,13 +803,39 @@ fn main() {
 
     let ml = run_multilevel_bench(ml_side, threads, m);
 
+    // Resilience arm: interrupt/resume + seeded faults on the grid
+    // scenario, against its fault-free serial row.
+    let grid_serial = &rows
+        .iter()
+        .find(|r| r.0 == "grid" && r.2.threads == 1)
+        .expect("serial grid row")
+        .2;
+    let res = run_resilience_bench(&scenarios[0], &config, grid_serial, fault_seed);
+    println!(
+        "\nresilience (grid, {} nodes): checkpoint at iteration {} ({} bytes, {:.4}s write, \
+         {:.4}s restore), resumed bit-identical ✓; seeded faults (seed {fault_seed}): \
+         {} injected [{}], {} downgrades, {} fallbacks, {} probes dropped, \
+         max weight drift {:.2e} vs fault-free ✓",
+        res.nodes,
+        res.checkpoint_iteration,
+        res.checkpoint_bytes,
+        res.checkpoint_write_s,
+        res.restore_s,
+        res.faults_injected,
+        res.fault_kinds.join(", "),
+        res.precond_downgrades,
+        res.fallbacks_taken,
+        res.probe_failures,
+        res.max_weight_rel_diff,
+    );
+
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"learn\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
     json.push_str(&format!("  \"effective_threads\": {effective_threads},\n"));
     json.push_str(&format!(
         "  \"args\": \"threads={threads} m={m} iters={iters} tol={tol:e} ml_side={ml_side} \
-         quick={quick}\",\n"
+         fault_seed={fault_seed} quick={quick}\",\n"
     ));
     json.push_str(&format!("  \"probes_per_iteration\": {PROBES_PER_ITER},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n  \"rows\": [\n"));
@@ -763,7 +933,7 @@ fn main() {
          \"delta_updates_flat\": {}, \"delta_updates_multilevel\": {}, \
          \"edges_flat\": {}, \"edges_multilevel\": {}, \
          \"eig_rel_err_vs_flat\": {}, \"eig_corr_vs_flat\": {:.6}, \
-         \"bit_identical_across_threads\": true}}\n",
+         \"bit_identical_across_threads\": true}},\n",
         ml.nodes,
         ml.level_sizes.len(),
         levels.join(", "),
@@ -782,6 +952,29 @@ fn main() {
         ml.multi_edges,
         sci(ml.eig_rel_err),
         ml.eig_corr,
+    ));
+    let kinds: Vec<String> = res.fault_kinds.iter().map(|k| format!("\"{k}\"")).collect();
+    json.push_str(&format!(
+        "  \"resilience\": {{\"scenario\": \"grid\", \"nodes\": {}, \"fault_seed\": {}, \
+         \"checkpoint_iteration\": {}, \"checkpoint_bytes\": {}, \
+         \"checkpoint_write_s\": {:.9}, \"restore_s\": {:.9}, \"resumed\": {}, \
+         \"faults_injected\": {}, \"fault_kinds\": [{}], \"precond_downgrades\": {}, \
+         \"fallbacks_taken\": {}, \"probe_failures\": {}, \"fault_run_converged\": {}, \
+         \"max_weight_rel_diff\": {}, \"graphs_equivalent\": true}}\n",
+        res.nodes,
+        fault_seed,
+        res.checkpoint_iteration,
+        res.checkpoint_bytes,
+        res.checkpoint_write_s,
+        res.restore_s,
+        res.resumed,
+        res.faults_injected,
+        kinds.join(", "),
+        res.precond_downgrades,
+        res.fallbacks_taken,
+        res.probe_failures,
+        res.fault_run_converged,
+        sci(res.max_weight_rel_diff),
     ));
     json.push_str("}\n");
     let path = repro_dir().join("BENCH_learn.json");

@@ -107,6 +107,10 @@ pub struct LearnResult {
     /// factorizations vs. incrementally absorbed edge deltas, and what
     /// forced each refresh.
     pub revision_stats: sgl_solver::RevisionStats,
+    /// How many times the session degraded its learning strategy
+    /// (Solver → SolverFree) after repeated solver failures. Zero on a
+    /// healthy run.
+    pub fallbacks_taken: usize,
 }
 
 impl LearnResult {

@@ -16,6 +16,9 @@ pub enum SglError {
     InvalidGraph(String),
     /// An index (iteration, node, edge) is out of range.
     OutOfRange(String),
+    /// Checkpoint I/O or format failure (unreadable file, version or
+    /// fingerprint mismatch, truncated section).
+    Checkpoint(String),
 }
 
 impl fmt::Display for SglError {
@@ -26,6 +29,7 @@ impl fmt::Display for SglError {
             SglError::InvalidMeasurements(m) => write!(f, "invalid measurements: {m}"),
             SglError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
             SglError::OutOfRange(m) => write!(f, "index out of range: {m}"),
+            SglError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
         }
     }
 }

@@ -56,6 +56,7 @@
 
 pub mod algorithm;
 pub mod backend;
+pub mod checkpoint;
 pub mod clustering;
 pub mod config;
 pub mod drawing;
@@ -109,5 +110,6 @@ pub use strategy::{
 // The solve-layer vocabulary types, re-exported so configuring a session
 // does not require a direct sgl-solver dependency.
 pub use sgl_solver::{
-    PolicyMethod, ReuseMode, SolveStats, SolverContext, SolverHandle, SolverPolicy,
+    FaultEvent, FaultKind, FaultPlan, PolicyMethod, ReuseMode, SolveStats, SolverContext,
+    SolverHandle, SolverPolicy,
 };

@@ -29,12 +29,25 @@ pub struct Measurements {
     y: Option<DenseMatrix>,
 }
 
+/// Ingest-boundary validation: every entry of a measurement matrix must
+/// be finite. A single NaN/inf poisons every inner product downstream
+/// (kNN distances, sensitivities, solves), so it is rejected here at
+/// the boundary rather than surfacing as a solver breakdown later.
+fn ensure_finite(name: &str, m: &DenseMatrix) -> Result<(), SglError> {
+    match m.as_slice().iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(SglError::InvalidMeasurements(format!(
+            "{name} matrix contains a non-finite entry at flat index {i}"
+        ))),
+    }
+}
+
 impl Measurements {
     /// Wrap voltage and current matrices.
     ///
     /// # Errors
-    /// Returns [`SglError::InvalidMeasurements`] on shape mismatch or
-    /// empty matrices.
+    /// Returns [`SglError::InvalidMeasurements`] on shape mismatch,
+    /// empty matrices, or non-finite (NaN/inf) entries.
     pub fn new(x: DenseMatrix, y: DenseMatrix) -> Result<Self, SglError> {
         if x.nrows() == 0 || x.ncols() == 0 {
             return Err(SglError::InvalidMeasurements("empty voltage matrix".into()));
@@ -48,6 +61,8 @@ impl Measurements {
                 y.ncols()
             )));
         }
+        ensure_finite("voltage", &x)?;
+        ensure_finite("current", &y)?;
         Ok(Measurements { x, y: Some(y) })
     }
 
@@ -55,11 +70,13 @@ impl Measurements {
     /// edge-scaling step will be skipped).
     ///
     /// # Errors
-    /// Returns [`SglError::InvalidMeasurements`] for an empty matrix.
+    /// Returns [`SglError::InvalidMeasurements`] for an empty matrix or
+    /// non-finite (NaN/inf) entries.
     pub fn from_voltages(x: DenseMatrix) -> Result<Self, SglError> {
         if x.nrows() == 0 || x.ncols() == 0 {
             return Err(SglError::InvalidMeasurements("empty voltage matrix".into()));
         }
+        ensure_finite("voltage", &x)?;
         Ok(Measurements { x, y: None })
     }
 
@@ -243,7 +260,10 @@ impl Measurements {
     /// [`SglSession::extend_measurements`](crate::SglSession::extend_measurements).
     ///
     /// # Errors
-    /// Returns [`SglError::InvalidMeasurements`] on node-count mismatch.
+    /// Returns [`SglError::InvalidMeasurements`] on node-count mismatch
+    /// or a non-finite entry in the later batch (streamed batches are an
+    /// ingest boundary — see [`SglSession::extend_measurements`](crate::SglSession::extend_measurements)
+    /// and `sgl-serve`'s quarantine path).
     pub fn hstack(&self, later: &Measurements) -> Result<Measurements, SglError> {
         if later.num_nodes() != self.num_nodes() {
             return Err(SglError::InvalidMeasurements(format!(
@@ -251,6 +271,10 @@ impl Measurements {
                 later.num_nodes(),
                 self.num_nodes()
             )));
+        }
+        ensure_finite("voltage", &later.x)?;
+        if let Some(y) = &later.y {
+            ensure_finite("current", y)?;
         }
         fn hcat(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
             let cols: Vec<Vec<f64>> = (0..a.ncols())
@@ -397,6 +421,31 @@ mod tests {
         let x = DenseMatrix::zeros(4, 2);
         let y = DenseMatrix::zeros(3, 2);
         assert!(Measurements::new(x, y).is_err());
+    }
+
+    #[test]
+    fn non_finite_entries_rejected_at_every_boundary() {
+        let poisoned =
+            |bad: f64| DenseMatrix::from_fn(4, 2, |i, j| if i == 2 && j == 1 { bad } else { 1.0 });
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Measurements::from_voltages(poisoned(bad)),
+                Err(SglError::InvalidMeasurements(_))
+            ));
+            assert!(matches!(
+                Measurements::new(DenseMatrix::zeros(4, 2), poisoned(bad)),
+                Err(SglError::InvalidMeasurements(_))
+            ));
+        }
+        // hstack re-validates the incoming batch: a batch constructed
+        // clean cannot be poisoned, but a caller-mutated one can.
+        let clean = Measurements::from_voltages(DenseMatrix::zeros(4, 2)).unwrap();
+        let mut dirty = clean.clone();
+        dirty.x = poisoned(f64::NAN);
+        assert!(matches!(
+            clean.hstack(&dirty),
+            Err(SglError::InvalidMeasurements(_))
+        ));
     }
 
     #[test]

@@ -96,6 +96,24 @@ impl CandidatePool {
         }
     }
 
+    /// Rebuild a pool from an explicit candidate list (checkpoint
+    /// restore). The pool's internal order is history-dependent —
+    /// [`select_top`](CandidatePool::select_top) removes by
+    /// `swap_remove` — so a bit-identical resume must replay the exact
+    /// remaining candidates in their exact order, which no
+    /// reconstruction from the graphs can produce.
+    pub fn from_parts(candidates: Vec<Candidate>, num_measurements: usize) -> Self {
+        CandidatePool {
+            candidates,
+            num_measurements,
+        }
+    }
+
+    /// The measurement count `M` the cached data distances divide by.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
     /// Remaining candidate count.
     pub fn len(&self) -> usize {
         self.candidates.len()

@@ -42,14 +42,15 @@ use crate::embedding::{Embedding, EmbeddingOptions};
 use crate::error::SglError;
 use crate::measure::Measurements;
 use crate::resistance::{build_resistance_estimator, ResistanceEstimator, ResistanceMethod};
-use crate::sensitivity::CandidatePool;
-use crate::strategy::resolve_strategy;
+use crate::sensitivity::{Candidate, CandidatePool};
+use crate::strategy::{resolve_strategy, solver_free_registered, LearnStrategyKind};
 use sgl_graph::mst::maximum_spanning_tree;
 use sgl_graph::{EdgeDelta, Graph};
 use sgl_knn::build_knn_graph;
 use sgl_linalg::par::with_threads_hint as with_session_threads;
-use sgl_solver::SolverContext;
+use sgl_solver::{FaultPlan, SolverContext};
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// What a single [`SglSession::step`] did.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +138,12 @@ pub struct SglSession<'m> {
     /// sketch).
     resistance: ResistanceMethod,
     observers: Vec<Box<dyn SessionObserver>>,
+    /// Consecutive solver failures across steps (reset on any success) —
+    /// the degradation trigger for the strategy fallback.
+    solver_failures: usize,
+    /// Strategy fallbacks taken (Solver → SolverFree after repeated
+    /// solver failures); surfaced in [`LearnResult::fallbacks_taken`].
+    fallbacks_taken: usize,
 }
 
 impl std::fmt::Debug for SglSession<'_> {
@@ -155,6 +162,38 @@ impl std::fmt::Debug for SglSession<'_> {
             .field("scaler", &self.scaler)
             .finish()
     }
+}
+
+/// Everything a checkpoint must persist to resume a session
+/// bit-identically (see [`crate::checkpoint`]).
+///
+/// Stage backends, observers, and solver handles are deliberately *not*
+/// state: backends are re-resolved from the config's strategy on
+/// restore, observers cannot survive a process boundary, and the
+/// checkpoint acts as a solver **revision barrier** — the live session's
+/// context is invalidated at save time, so both the continuing session
+/// and a restored one rebuild the same fresh factorization at their next
+/// solve.
+pub(crate) struct SessionState {
+    pub config: SglConfig,
+    pub measurements: Measurements,
+    pub knn_graph: Graph,
+    pub graph: Graph,
+    /// Remaining pool candidates, verbatim and in order —
+    /// [`CandidatePool::select_top`] removes by `swap_remove`, so the
+    /// order is history-dependent and must be replayed exactly.
+    pub candidates: Vec<Candidate>,
+    pub pool_measurements: usize,
+    pub embedding: Option<Embedding>,
+    pub trace: Vec<IterationRecord>,
+    pub epoch_iterations: usize,
+    pub epoch_start: usize,
+    pub knn_candidates: bool,
+    pub converged: bool,
+    pub halted: bool,
+    pub verdict: StopVerdict,
+    pub solver_failures: usize,
+    pub fallbacks_taken: usize,
 }
 
 impl<'m> SglSession<'m> {
@@ -266,6 +305,8 @@ impl<'m> SglSession<'m> {
             scaler,
             resistance,
             observers: Vec::new(),
+            solver_failures: 0,
+            fallbacks_taken: 0,
         })
     }
 
@@ -340,6 +381,21 @@ impl<'m> SglSession<'m> {
     /// handle (if any), and how many handles have been built so far.
     pub fn solver_context(&self) -> &SolverContext {
         &self.solver
+    }
+
+    /// Install a deterministic fault-injection schedule on the session's
+    /// solver context (see [`FaultPlan`]): subsequent handle builds and
+    /// solves consult the plan, exercising the recovery paths —
+    /// preconditioner downgrade ladder, solver-state invalidation with
+    /// step retry, and the Solver → SolverFree strategy fallback.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.solver.set_fault_plan(plan);
+    }
+
+    /// Strategy fallbacks taken so far (Solver → SolverFree after
+    /// repeated solver failures).
+    pub fn fallbacks_taken(&self) -> usize {
+        self.fallbacks_taken
     }
 
     /// Materialize the strategy-resolved [`ResistanceMethod`] for the
@@ -473,11 +529,78 @@ impl<'m> SglSession<'m> {
     /// Run one iteration of the densification loop (Steps 2–4), under
     /// the session's `parallelism` knob.
     ///
+    /// Solver failures (PCG stagnation, factorization drift — real or
+    /// injected via [`SglSession::set_fault_plan`]) do not kill the
+    /// session: the solver state is invalidated and the step retried on
+    /// a fresh factorization. If the retry fails too, the session
+    /// attempts the strategy fallback (Solver → SolverFree, when the
+    /// `sgl-sfsgl` factory is registered) and retries once more; only
+    /// when every rung is exhausted does the error propagate.
+    ///
     /// # Errors
-    /// Propagates embedding/solver failures.
+    /// Propagates embedding/solver failures that survive recovery.
     pub fn step(&mut self) -> Result<StepOutcome, SglError> {
         let parallelism = self.config.parallelism;
-        with_session_threads(parallelism, || self.step_inner())
+        match with_session_threads(parallelism, || self.step_inner()) {
+            Ok(outcome) => {
+                self.solver_failures = 0;
+                Ok(outcome)
+            }
+            Err(SglError::Linalg(_)) => {
+                // First rung: a fresh factorization. The failed stage
+                // left no partial mutation behind (a failed embed leaves
+                // the cache empty; a failed delta absorb already
+                // scheduled its own refresh), so re-entering the step is
+                // safe.
+                self.solver_failures += 1;
+                self.solver.invalidate();
+                match with_session_threads(parallelism, || self.step_inner()) {
+                    Ok(outcome) => {
+                        self.solver_failures = 0;
+                        Ok(outcome)
+                    }
+                    Err(SglError::Linalg(_)) if self.try_strategy_fallback() => {
+                        // Second rung: the solver-free strategy cannot
+                        // suffer factorization breakdown at all.
+                        self.solver_failures += 1;
+                        let outcome = with_session_threads(parallelism, || self.step_inner())?;
+                        self.solver_failures = 0;
+                        Ok(outcome)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Swap the session onto the solver-free strategy after repeated
+    /// solver failures. Returns `false` when the session is already
+    /// solver-free or no factory is registered (see
+    /// [`register_solver_free_strategy`](crate::strategy::register_solver_free_strategy)).
+    fn try_strategy_fallback(&mut self) -> bool {
+        if self.config.strategy != LearnStrategyKind::Solver || !solver_free_registered() {
+            return false;
+        }
+        self.config.strategy = LearnStrategyKind::SolverFree;
+        let strategy = match resolve_strategy(&self.config) {
+            Ok(s) => s,
+            Err(_) => {
+                self.config.strategy = LearnStrategyKind::Solver;
+                return false;
+            }
+        };
+        self.backend = strategy.embedding_backend(&self.config);
+        self.scorer = strategy.scorer(&self.config);
+        self.stopping = strategy.stopping_rule(&self.config);
+        self.scaler = strategy.edge_scaler(&self.config);
+        self.resistance = strategy.resistance_method(&self.config);
+        // The cached embedding came from the old backend; recompute so
+        // strategies never mix within one warm-start chain.
+        self.embedding = None;
+        self.solver.invalidate();
+        self.fallbacks_taken += 1;
+        true
     }
 
     fn step_inner(&mut self) -> Result<StepOutcome, SglError> {
@@ -636,12 +759,34 @@ impl<'m> SglSession<'m> {
     /// Propagates embedding/solver failures.
     pub fn finish(mut self) -> Result<LearnResult, SglError> {
         let parallelism = self.config.parallelism;
-        with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
+        // Both the final embedding and Step-5 scaling get the same
+        // one-retry recovery as `step`: invalidate the solver state and
+        // re-run on a fresh factorization before giving up.
+        if let Err(e) = with_session_threads(parallelism, || self.ensure_embedding().map(|_| ())) {
+            match e {
+                SglError::Linalg(_) => {
+                    self.solver.invalidate();
+                    with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
+                }
+                other => return Err(other),
+            }
+        }
         let scale_factor = if self.config.scale_edges {
-            with_session_threads(parallelism, || {
+            let attempt = with_session_threads(parallelism, || {
                 self.scaler
                     .scale(&mut self.graph, &self.measurements, &mut self.solver)
-            })?
+            });
+            match attempt {
+                Ok(f) => f,
+                Err(SglError::Linalg(_)) => {
+                    self.solver.invalidate();
+                    with_session_threads(parallelism, || {
+                        self.scaler
+                            .scale(&mut self.graph, &self.measurements, &mut self.solver)
+                    })?
+                }
+                Err(e) => return Err(e),
+            }
         } else {
             None
         };
@@ -655,6 +800,7 @@ impl<'m> SglSession<'m> {
             embedding: self.embedding.expect("embedding ensured above"),
             solver_stats: self.solver.cumulative_stats(),
             revision_stats: self.solver.revision_stats(),
+            fallbacks_taken: self.fallbacks_taken,
         };
         for obs in &mut self.observers {
             obs.on_finish(&result);
@@ -671,6 +817,96 @@ impl<'m> SglSession<'m> {
     pub fn run(mut self) -> Result<LearnResult, SglError> {
         self.run_to_completion()?;
         self.finish()
+    }
+
+    /// Drop any cached solver factorization — the checkpoint revision
+    /// barrier (see [`SglSession::checkpoint`]).
+    pub(crate) fn invalidate_solver(&mut self) {
+        self.solver.invalidate();
+    }
+
+    /// Snapshot the resumable state (see [`SessionState`]). Read-only:
+    /// the revision-barrier invalidation happens in
+    /// [`checkpoint`](SglSession::checkpoint), not here.
+    pub(crate) fn capture_state(&self) -> SessionState {
+        SessionState {
+            config: self.config.clone(),
+            measurements: self.measurements.as_ref().clone(),
+            knn_graph: self.knn_graph.clone(),
+            graph: self.graph.clone(),
+            candidates: self.pool.candidates().to_vec(),
+            pool_measurements: self.pool.num_measurements(),
+            embedding: self.embedding.clone(),
+            trace: self.trace.clone(),
+            epoch_iterations: self.epoch_iterations,
+            epoch_start: self.epoch_start,
+            knn_candidates: self.knn_candidates,
+            converged: self.converged,
+            halted: self.halted,
+            verdict: self.verdict,
+            solver_failures: self.solver_failures,
+            fallbacks_taken: self.fallbacks_taken,
+        }
+    }
+}
+
+impl SglSession<'static> {
+    /// Rebuild a session from a [`SessionState`] snapshot: stage
+    /// backends are re-resolved from the config's (possibly degraded)
+    /// strategy, the solver context starts fresh — matching the
+    /// revision barrier the saving session went through — and the
+    /// measurements are owned, so the result is `'static`.
+    pub(crate) fn from_state(state: SessionState) -> Result<SglSession<'static>, SglError> {
+        let SessionState {
+            config,
+            measurements,
+            knn_graph,
+            graph,
+            candidates,
+            pool_measurements,
+            embedding,
+            trace,
+            epoch_iterations,
+            epoch_start,
+            knn_candidates,
+            converged,
+            halted,
+            verdict,
+            solver_failures,
+            fallbacks_taken,
+        } = state;
+        config.validate()?;
+        let solver = SolverContext::new(config.solver.clone());
+        let strategy = resolve_strategy(&config)?;
+        let backend = strategy.embedding_backend(&config);
+        let scorer = strategy.scorer(&config);
+        let stopping = strategy.stopping_rule(&config);
+        let scaler = strategy.edge_scaler(&config);
+        let resistance = strategy.resistance_method(&config);
+        Ok(SglSession {
+            config,
+            measurements: Cow::Owned(measurements),
+            knn_graph,
+            graph,
+            pool: CandidatePool::from_parts(candidates, pool_measurements),
+            embedding,
+            trace,
+            epoch_iterations,
+            epoch_start,
+            knn_candidates,
+            converged,
+            halted,
+            verdict,
+            solver,
+            backend,
+            scorer,
+            stopping,
+            scaler,
+            resistance,
+            observers: Vec::new(),
+            solver_failures,
+            fallbacks_taken,
+        })
     }
 }
 

@@ -15,11 +15,25 @@
 //! Correctness is free: `solve_batch` solves each right-hand side
 //! independently, so coalescing never changes any individual answer
 //! (the contract `tests/parallel_equivalence.rs` pins down).
+//!
+//! # Degradation
+//!
+//! A leader's shared solve can fail (or stall) without taking the whole
+//! serving layer with it: solver-level failures are retried up to
+//! `max_retries` times with a fixed backoff (transient breakdowns — and
+//! every injected fault — clear on retry), and followers waiting on a
+//! leader give up after `deadline` with
+//! [`ServeError::DeadlineExceeded`] rather than blocking forever. A
+//! seeded [`FaultPlan`] can corrupt submitted payloads
+//! ([`FaultKind::PoisonQuery`]) to prove that per-request validation
+//! confines a bad query to its own reply.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+use sgl_core::{FaultKind, FaultPlan};
 
 use crate::epoch::SnapshotCell;
 use crate::snapshot::GraphSnapshot;
@@ -58,6 +72,11 @@ pub struct BatchStats {
     pub rhs_columns: u64,
     /// Most requests ever drained in one flush.
     pub largest_batch: u64,
+    /// Shared solves re-attempted after a transient solver failure.
+    pub retries: u64,
+    /// Requests abandoned by their caller after waiting past the
+    /// deadline.
+    pub deadline_misses: u64,
 }
 
 /// Leader/follower micro-batcher (see the [module docs](self)).
@@ -65,23 +84,49 @@ pub struct BatchStats {
 pub(crate) struct MicroBatcher {
     window: Duration,
     max_batch: usize,
+    deadline: Duration,
+    max_retries: usize,
+    retry_backoff: Duration,
+    faults: Option<Arc<FaultPlan>>,
     queue: Mutex<Vec<Pending>>,
     batches: AtomicU64,
     coalesced: AtomicU64,
     rhs_columns: AtomicU64,
     largest_batch: AtomicU64,
+    retries: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+/// A panicked reader cannot leave the queue corrupt (pushes and drains
+/// are single operations), so poisoning is recoverable by construction.
+fn heal<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl MicroBatcher {
-    pub(crate) fn new(window: Duration, max_batch: usize) -> Self {
+    pub(crate) fn new(
+        window: Duration,
+        max_batch: usize,
+        deadline: Duration,
+        max_retries: usize,
+        retry_backoff: Duration,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         MicroBatcher {
             window,
             max_batch: max_batch.max(1),
+            deadline,
+            max_retries,
+            retry_backoff,
+            faults,
             queue: Mutex::new(Vec::new()),
             batches: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             rhs_columns: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
         }
     }
 
@@ -91,20 +136,27 @@ impl MicroBatcher {
             coalesced_requests: self.coalesced.load(Ordering::Relaxed),
             rhs_columns: self.rhs_columns.load(Ordering::Relaxed),
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
         }
     }
 
     /// Submit one query and block until its reply. The first thread to
     /// find the queue empty leads the flush for everyone who joins
-    /// during the window.
+    /// during the window; followers wait at most `deadline`.
     pub(crate) fn submit(
         &self,
         cell: &SnapshotCell<GraphSnapshot>,
-        payload: Payload,
+        mut payload: Payload,
     ) -> Result<(u64, Reply), ServeError> {
+        if let Some(plan) = &self.faults {
+            if plan.should_fire(FaultKind::PoisonQuery) {
+                poison(&mut payload);
+            }
+        }
         let (tx, rx) = mpsc::channel();
         let leader = {
-            let mut queue = self.queue.lock().unwrap();
+            let mut queue = heal(&self.queue);
             queue.push(Pending { payload, reply: tx });
             queue.len() == 1
         };
@@ -112,11 +164,46 @@ impl MicroBatcher {
             if !self.window.is_zero() {
                 std::thread::sleep(self.window);
             }
-            let batch = std::mem::take(&mut *self.queue.lock().unwrap());
+            let batch = std::mem::take(&mut *heal(&self.queue));
             self.execute(cell, batch);
+            // The leader answered itself through its own channel.
+            return rx.recv().map_err(|_| ServeError::Closed)?;
         }
-        // The leader answered itself through its own channel too.
-        rx.recv().map_err(|_| ServeError::Closed)?
+        // Followers bound their wait: a stalled or retrying leader must
+        // not hold every caller hostage.
+        match rx.recv_timeout(self.deadline) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded {
+                    deadline_ms: self.deadline.as_millis() as u64,
+                })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Re-attempt a failed shared solve a bounded number of times.
+    /// Injected faults (and real transient breakdowns) fire on specific
+    /// solve opportunities, so the next attempt sees a clean operator.
+    fn with_retry<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let mut attempts = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(ServeError::Sgl(_)) if attempts < self.max_retries => {
+                    attempts += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if !self.retry_backoff.is_zero() {
+                        std::thread::sleep(self.retry_backoff);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Answer a drained batch against one snapshot load.
@@ -176,8 +263,11 @@ impl MicroBatcher {
         );
 
         // One chunked fan-out per payload kind; a solver-level failure
-        // is replicated to every request that contributed to the union.
-        let res_values = self.chunked(&res_pairs, |chunk| snap.resistances(chunk));
+        // (after bounded retries) is replicated to every request that
+        // contributed to the union.
+        let res_values = self.chunked(&res_pairs, |chunk| {
+            self.with_retry(|| snap.resistances(chunk))
+        });
         match res_values {
             Ok(values) => {
                 for (i, range) in res_slots {
@@ -190,7 +280,9 @@ impl MicroBatcher {
                 }
             }
         }
-        let interp_values = self.chunked(&interp_rhs, |chunk| snap.interpolate_batch(chunk));
+        let interp_values = self.chunked(&interp_rhs, |chunk| {
+            self.with_retry(|| snap.interpolate_batch(chunk))
+        });
         match interp_values {
             Ok(values) => {
                 for (i, range) in interp_slots {
@@ -224,6 +316,18 @@ impl MicroBatcher {
             out.extend(op(chunk)?);
         }
         Ok(out)
+    }
+}
+
+/// Corrupt a payload the way a buggy or malicious client would
+/// ([`FaultKind::PoisonQuery`]): out-of-range pairs, wrong-width
+/// injection vectors. Per-request validation in
+/// [`MicroBatcher::execute`] must confine the damage to this request's
+/// own reply.
+fn poison(payload: &mut Payload) {
+    match payload {
+        Payload::Resistances(pairs) => pairs.push((usize::MAX, usize::MAX)),
+        Payload::Interpolate(vecs) => vecs.push(vec![f64::NAN]),
     }
 }
 

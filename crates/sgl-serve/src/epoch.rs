@@ -112,7 +112,14 @@ impl<T> SnapshotCell<T> {
     /// publishers (and, briefly, on readers still draining the slot from
     /// `SLOTS` publishes ago).
     pub fn publish(&self, value: Arc<T>) -> u64 {
-        let _guard = self.writer.lock().unwrap();
+        // A publisher that panicked between acquiring the guard and the
+        // version store left the cell fully consistent (the version is
+        // only bumped after the slot write completes), so a poisoned
+        // lock is safe to heal.
+        let _guard = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let next = self.version.load(Ordering::Relaxed) + 1;
         let slot = &self.slots[(next % SLOTS as u64) as usize];
         // Drain stragglers pinned to the ancient generation of this

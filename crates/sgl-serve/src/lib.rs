@@ -25,6 +25,29 @@
 //!   snapshot. Refreshes ride the solver's incremental revisions
 //!   (rank-`r` delta updates), not refactorizations.
 //!
+//! # Resilience
+//!
+//! The serving layer is built to degrade, not die:
+//!
+//! - **Supervised writer** — the writer thread wraps each ingest in a
+//!   panic boundary; on a panic it rebuilds the session from the
+//!   accumulated measurements and keeps serving ([`ServeStats::writer_restarts`]).
+//!   Readers never see a torn snapshot either way: a publish is an
+//!   all-or-nothing `Arc` swap.
+//! - **Ingest quarantine** — batches that fail validation (node-count
+//!   mismatch at [`SglServer::ingest`], or any absorb failure inside
+//!   the writer) are dropped and counted
+//!   ([`ServeStats::batches_quarantined`]); the session and the served
+//!   snapshot are untouched.
+//! - **Deadlines and bounded retries** — micro-batched queries retry
+//!   transient solver failures with backoff
+//!   ([`ServeOptions::max_retries`]) and waiting followers give up
+//!   after [`ServeOptions::deadline`] with
+//!   [`ServeError::DeadlineExceeded`] instead of blocking forever.
+//! - **Deterministic fault injection** — [`ServeOptions::fault_plan`]
+//!   threads an [`sgl_core::FaultPlan`] into the query path so all of
+//!   the above can be exercised on schedule in tests and benches.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -55,6 +78,7 @@
 //! assert_eq!(result.graph.num_nodes(), 25);
 //! # Ok::<(), sgl_serve::ServeError>(())
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod batch;
 pub mod epoch;
@@ -83,6 +107,15 @@ pub enum ServeError {
     /// The writer thread has exited; ingest and flush are no longer
     /// possible (readers keep the last snapshot).
     Closed,
+    /// A micro-batched query waited past [`ServeOptions::deadline`]
+    /// without an answer (its leader's solve stalled or is retrying);
+    /// the request is abandoned — the caller may resubmit.
+    ///
+    /// [`ServeOptions::deadline`]: crate::ServeOptions::deadline
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,6 +124,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Sgl(msg) => write!(f, "learning-layer failure: {msg}"),
             ServeError::BadQuery(msg) => write!(f, "bad query: {msg}"),
             ServeError::Closed => write!(f, "serving writer has shut down"),
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "query deadline of {deadline_ms} ms exceeded")
+            }
         }
     }
 }

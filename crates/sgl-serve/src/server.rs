@@ -18,12 +18,13 @@
 //! [`SglServer::shutdown`] drains the writer and hands the session back
 //! out, ready for [`SglSession::finish`].
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use sgl_core::{Measurements, SglSession};
+use sgl_core::{FaultKind, FaultPlan, Measurements, SglSession};
 use sgl_solver::RevisionStats;
 
 use crate::batch::{MicroBatcher, Payload, Reply};
@@ -32,7 +33,7 @@ use crate::snapshot::GraphSnapshot;
 use crate::ServeError;
 
 /// Tunables for a serving instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// k for the snapshot's embedding clustering (clamped to node count).
     pub clusters: usize,
@@ -43,6 +44,20 @@ pub struct ServeOptions {
     pub batch_window: Duration,
     /// Max right-hand-side columns per `solve_batch` call.
     pub max_batch: usize,
+    /// How long a micro-batched query waits on its leader before giving
+    /// up with [`ServeError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// Shared-solve retries after a transient solver failure (0
+    /// disables retrying).
+    pub max_retries: usize,
+    /// Sleep between those retries.
+    pub retry_backoff: Duration,
+    /// Deterministic fault-injection schedule threaded into the query
+    /// path (poisoned queries) and the writer (injected panics); also
+    /// install it on the session via
+    /// [`SglSession::set_fault_plan`](sgl_core::SglSession::set_fault_plan)
+    /// to reach the solver faults. `None` (the default) is inert.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeOptions {
@@ -52,6 +67,10 @@ impl Default for ServeOptions {
             refresh_iters: 4,
             batch_window: Duration::from_micros(200),
             max_batch: 64,
+            deadline: Duration::from_secs(5),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(500),
+            fault_plan: None,
         }
     }
 }
@@ -75,6 +94,17 @@ pub struct ServeStats {
     pub rhs_columns_solved: u64,
     /// Most requests drained in a single flush.
     pub largest_batch: u64,
+    /// Shared solves re-attempted after a transient solver failure.
+    pub query_retries: u64,
+    /// Queries abandoned after waiting past the deadline.
+    pub deadline_misses: u64,
+    /// Ingest batches rejected and dropped (validation failure at
+    /// [`SglServer::ingest`] or absorb failure in the writer); the
+    /// served snapshot is untouched by a quarantined batch.
+    pub batches_quarantined: u64,
+    /// Times the supervised writer thread panicked and was rebuilt from
+    /// the accumulated measurements.
+    pub writer_restarts: u64,
     /// The session solver context's revision counters at the last
     /// publish — shows delta updates vs. full refactorizations.
     pub revision: RevisionStats,
@@ -104,6 +134,8 @@ struct Shared {
     queries: AtomicU64,
     snapshots_published: AtomicU64,
     measurements_ingested: AtomicU64,
+    batches_quarantined: AtomicU64,
+    writer_restarts: AtomicU64,
 }
 
 /// The serving instance: owns the writer thread, hands out read handles.
@@ -139,10 +171,19 @@ impl SglServer {
         let initial = GraphSnapshot::from_session(&mut session, opts.clusters, 0)?;
         let shared = Arc::new(Shared {
             cell: SnapshotCell::new(Arc::new(initial)),
-            batcher: MicroBatcher::new(opts.batch_window, opts.max_batch),
+            batcher: MicroBatcher::new(
+                opts.batch_window,
+                opts.max_batch,
+                opts.deadline,
+                opts.max_retries,
+                opts.retry_backoff,
+                opts.fault_plan.clone(),
+            ),
             queries: AtomicU64::new(0),
             snapshots_published: AtomicU64::new(0),
             measurements_ingested: AtomicU64::new(0),
+            batches_quarantined: AtomicU64::new(0),
+            writer_restarts: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::channel();
         let writer_shared = Arc::clone(&shared);
@@ -168,10 +209,27 @@ impl SglServer {
     /// batch is enqueued; the refreshed snapshot appears asynchronously
     /// (use [`flush`](Self::flush) to wait for it).
     ///
+    /// The batch is validated at this boundary: a node count that does
+    /// not match the served graph is rejected (and counted in
+    /// [`ServeStats::batches_quarantined`]) before it can reach the
+    /// writer. Non-finite values cannot arrive at all —
+    /// [`Measurements`]' constructors reject them.
+    ///
     /// # Errors
-    /// [`ServeError::Closed`] when the writer has exited (after an
-    /// ingest failure or shutdown).
+    /// [`ServeError::BadQuery`] for a mismatched batch;
+    /// [`ServeError::Closed`] when the writer has exited (after
+    /// shutdown).
     pub fn ingest(&self, batch: Measurements) -> Result<(), ServeError> {
+        let nodes = self.shared.cell.load().1.num_nodes();
+        if batch.num_nodes() != nodes {
+            self.shared
+                .batches_quarantined
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadQuery(format!(
+                "ingest batch has {} nodes; server is learning a {nodes}-node graph",
+                batch.num_nodes()
+            )));
+        }
         let tx = self.ingest_tx.as_ref().ok_or(ServeError::Closed)?;
         tx.send(WriterMsg::Ingest(batch))
             .map_err(|_| ServeError::Closed)
@@ -220,30 +278,99 @@ impl Drop for SglServer {
     }
 }
 
+/// Extend the session with one validated batch, run the bounded
+/// refinement sweeps, and publish the refreshed snapshot. Any error
+/// leaves the last published snapshot in place.
+fn absorb_batch(
+    session: &mut SglSession<'static>,
+    batch: &Measurements,
+    shared: &Shared,
+    opts: &ServeOptions,
+) -> Result<(), ServeError> {
+    session.extend_measurements(batch)?;
+    for _ in 0..opts.refresh_iters {
+        if session.is_done() {
+            break;
+        }
+        session.step()?;
+    }
+    let next = shared.cell.version() + 1;
+    let snapshot = GraphSnapshot::from_session(session, opts.clusters, next)?;
+    shared.cell.publish(Arc::new(snapshot));
+    shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    shared
+        .measurements_ingested
+        .fetch_add(batch.num_measurements() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// The supervised writer: each ingest runs inside a panic boundary.
+///
+/// * An absorb **error** quarantines the batch (counted; the session
+///   keeps serving and later ingests proceed).
+/// * An absorb **panic** — injected via [`FaultKind::WriterPanic`] or
+///   real — discards the possibly half-mutated session, rebuilds a
+///   fresh one from the accumulated measurements, re-absorbs the batch
+///   once, and keeps serving. Readers never notice: snapshots are
+///   published only after a rebuild fully succeeds, so the last good
+///   snapshot serves throughout (zero torn reads — the
+///   [`SnapshotCell`] swap is all-or-nothing).
 fn writer_loop(
     mut session: SglSession<'static>,
     shared: Arc<Shared>,
     opts: ServeOptions,
     rx: mpsc::Receiver<WriterMsg>,
 ) -> Result<SglSession<'static>, ServeError> {
+    // Everything needed to resurrect the writer after a panic: the
+    // config (with the strategy currently in force) and every
+    // measurement column absorbed so far.
+    let mut config = session.config().clone();
+    let mut accumulated = session.measurements().clone();
     while let Ok(msg) = rx.recv() {
         match msg {
             WriterMsg::Ingest(batch) => {
-                let columns = batch.num_measurements() as u64;
-                session.extend_measurements(&batch)?;
-                for _ in 0..opts.refresh_iters {
-                    if session.is_done() {
-                        break;
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = &opts.fault_plan {
+                        if plan.should_fire(FaultKind::WriterPanic) {
+                            panic!("injected writer panic");
+                        }
                     }
-                    session.step()?;
+                    absorb_batch(&mut session, &batch, &shared, &opts)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {
+                        accumulated = accumulated.hstack(&batch)?;
+                        config = session.config().clone();
+                    }
+                    Ok(Err(_)) => {
+                        // Absorb failed cleanly: quarantine the batch,
+                        // keep the session and the served snapshot.
+                        shared.batches_quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // The writer panicked mid-absorb. The session
+                        // may be half-mutated — rebuild it from the
+                        // accumulated measurements and retry the batch
+                        // once; if that fails too, quarantine it.
+                        shared.writer_restarts.fetch_add(1, Ordering::Relaxed);
+                        let mut rebuilt =
+                            SglSession::from_owned(config.clone(), accumulated.clone())?;
+                        if let Some(plan) = &opts.fault_plan {
+                            rebuilt.set_fault_plan(Arc::clone(plan));
+                        }
+                        rebuilt.run_to_completion()?;
+                        session = rebuilt;
+                        match absorb_batch(&mut session, &batch, &shared, &opts) {
+                            Ok(()) => {
+                                accumulated = accumulated.hstack(&batch)?;
+                                config = session.config().clone();
+                            }
+                            Err(_) => {
+                                shared.batches_quarantined.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 }
-                let next = shared.cell.version() + 1;
-                let snapshot = GraphSnapshot::from_session(&mut session, opts.clusters, next)?;
-                shared.cell.publish(Arc::new(snapshot));
-                shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .measurements_ingested
-                    .fetch_add(columns, Ordering::Relaxed);
             }
             WriterMsg::Flush(ack) => {
                 let _ = ack.send(());
@@ -386,6 +513,10 @@ impl ServeHandle {
             requests_coalesced: batch.coalesced_requests,
             rhs_columns_solved: batch.rhs_columns,
             largest_batch: batch.largest_batch,
+            query_retries: batch.retries,
+            deadline_misses: batch.deadline_misses,
+            batches_quarantined: self.shared.batches_quarantined.load(Ordering::Relaxed),
+            writer_restarts: self.shared.writer_restarts.load(Ordering::Relaxed),
             revision: snap.revision_stats(),
         }
     }
@@ -471,23 +602,67 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_ingest_closes_writer_but_not_readers() {
-        let (server, _) = serving();
+    fn mismatched_ingest_is_quarantined_not_fatal() {
+        let (server, truth) = serving();
         let reader = server.handle();
-        // A wrong-sized batch fails the writer loop.
+        // A wrong-sized batch is rejected at the ingest boundary...
         let other = sgl_datasets::grid2d(3, 3);
         let bad = Measurements::generate(&other, 3, 1).unwrap();
-        server.ingest(bad).unwrap();
-        let err = server.flush().unwrap_err();
-        assert_eq!(err, ServeError::Closed);
-        assert!(matches!(
-            server.ingest(Measurements::generate(&other, 1, 1).unwrap(),),
-            Err(ServeError::Closed)
-        ));
-        // Readers keep the last good snapshot.
-        assert_eq!(reader.version(), 0);
+        assert!(matches!(server.ingest(bad), Err(ServeError::BadQuery(_))));
+        assert_eq!(server.stats().batches_quarantined, 1);
+        // ...and the server keeps serving and ingesting.
+        server.flush().unwrap();
+        server
+            .ingest(Measurements::generate(&truth, 2, 9).unwrap())
+            .unwrap();
+        server.flush().unwrap();
+        assert_eq!(reader.version(), 1);
         assert!(reader.resistances(&[(0, 1)]).is_ok());
-        // Shutdown surfaces the writer's error.
-        assert!(matches!(server.shutdown(), Err(ServeError::Sgl(_))));
+        let session = server.shutdown().unwrap();
+        // The quarantined batch never touched the session.
+        assert_eq!(session.measurements().num_measurements(), 12);
+    }
+
+    #[test]
+    fn injected_writer_panic_restarts_and_keeps_serving() {
+        let truth = sgl_datasets::grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 3).unwrap();
+        let cfg = SglConfig::builder()
+            .k(4)
+            .r(4)
+            .tol(0.0)
+            .max_iterations(3)
+            .build()
+            .unwrap();
+        let mut session = SglSession::from_owned(cfg, meas).unwrap();
+        session.run_to_completion().unwrap();
+        let plan = Arc::new(FaultPlan::seeded(7).with_fault(FaultKind::WriterPanic, 1));
+        let opts = ServeOptions {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServeOptions::default()
+        };
+        let server = SglServer::new(session, opts).unwrap();
+        let reader = server.handle();
+
+        // First ingest trips the injected panic; the supervisor rebuilds
+        // the writer and re-absorbs the batch.
+        server
+            .ingest(Measurements::generate(&truth, 4, 5).unwrap())
+            .unwrap();
+        server.flush().unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.writer_restarts, 1);
+        assert_eq!(stats.batches_quarantined, 0);
+        assert!(reader.version() >= 1);
+        assert!(reader.resistances(&[(0, 24)]).is_ok());
+
+        // A second ingest sails through the recovered writer.
+        server
+            .ingest(Measurements::generate(&truth, 4, 6).unwrap())
+            .unwrap();
+        server.flush().unwrap();
+        let session = server.shutdown().unwrap();
+        assert_eq!(session.measurements().num_measurements(), 18);
+        assert!(plan.injected_count() >= 1);
     }
 }

@@ -45,7 +45,10 @@
 //! epochs instead of rehashing the edge list (the structural fingerprint
 //! survives as a debug assertion only).
 
-use crate::backend::{ReuseMode, SolveStats, SolverBackend, SolverHandle, SolverPolicy, StatCell};
+use crate::backend::{
+    PolicyMethod, ReuseMode, SolveStats, SolverBackend, SolverHandle, SolverPolicy, StatCell,
+};
+use crate::fault::{FaultKind, FaultPlan};
 use sgl_graph::laplacian::{apply_laplacian_deltas, laplacian_csr};
 use sgl_graph::{EdgeDelta, Graph};
 use sgl_linalg::cg::{pcg_solve_with, CgOptions, CgWorkspace};
@@ -78,6 +81,9 @@ pub struct RevisionStats {
     /// (singular capacitance, vanishing merged weight, failed base
     /// solve).
     pub refreshes_on_numeric: usize,
+    /// Preconditioner downgrades taken by the degradation ladder
+    /// (IC(0)/AMG → tree → Jacobi) after a build breakdown.
+    pub precond_downgrades: usize,
 }
 
 impl RevisionStats {
@@ -89,6 +95,7 @@ impl RevisionStats {
         self.refreshes_on_rank += other.refreshes_on_rank;
         self.refreshes_on_iters += other.refreshes_on_iters;
         self.refreshes_on_numeric += other.refreshes_on_numeric;
+        self.precond_downgrades += other.precond_downgrades;
     }
 }
 
@@ -157,6 +164,9 @@ pub struct SolverContext {
     /// Stats accumulated from handles of *previous* revisions (retired
     /// on rebuild), so the context can report lifetime totals.
     retired_stats: SolveStats,
+    /// Deterministic fault-injection schedule, if any (see
+    /// [`FaultPlan`]). `None` in production: zero overhead.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Cheap structural fingerprint (FNV-1a over the edge list). Since the
@@ -214,12 +224,28 @@ impl SolverContext {
             #[cfg(debug_assertions)]
             fingerprint: 0,
             retired_stats: SolveStats::default(),
+            faults: None,
         }
     }
 
     /// The policy driving this context.
     pub fn policy(&self) -> &SolverPolicy {
         &self.policy
+    }
+
+    /// Install a deterministic fault-injection schedule. Every
+    /// subsequent handle build, solve through a context-built handle,
+    /// and Woodbury correction consults the plan at its opportunity
+    /// site. Installing a plan invalidates the cache so already-built
+    /// handles don't bypass injection.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+        self.stale = true;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Mark the cached handle stale (the graph changed in a way the
@@ -284,7 +310,7 @@ impl SolverContext {
                 self.stats.refreshes_on_iters += 1;
             }
             self.retire_current();
-            let handle = self.backend.build(graph)?;
+            let handle = self.build_with_degradation(graph)?;
             self.stats.handles_built += 1;
             self.stale = false;
             self.revision = graph.revision();
@@ -306,6 +332,52 @@ impl SolverContext {
             );
         }
         Ok(Arc::clone(self.handle.as_ref().expect("handle just built")))
+    }
+
+    /// Build a handle for `graph`, walking the preconditioner
+    /// degradation ladder on breakdown: a failed IC(0)/AMG build (real,
+    /// or injected via [`FaultKind::IcholBreakdown`]) downgrades to a
+    /// spanning-tree preconditioner, then to Jacobi — each successful
+    /// downgrade counted in [`RevisionStats::precond_downgrades`]. The
+    /// dense reference backend deliberately has no ladder (its size-cap
+    /// failure is a configuration contract, not a numerical breakdown).
+    /// When a plan schedules [`FaultKind::PcgStagnation`], the built
+    /// handle is wrapped so solves consult the plan.
+    fn build_with_degradation(
+        &mut self,
+        graph: &Graph,
+    ) -> Result<Arc<dyn SolverHandle>, LinalgError> {
+        let injected = self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.should_fire(FaultKind::IcholBreakdown));
+        let primary = if injected {
+            Err(FaultPlan::error_for(FaultKind::IcholBreakdown))
+        } else {
+            self.backend.build(graph)
+        };
+        let built = match primary {
+            Ok(h) => Ok(h),
+            Err(err) => {
+                let mut recovered = Err(err);
+                for &method in downgrade_ladder(self.policy.method) {
+                    let fallback = self.policy.clone().with_method(method);
+                    if let Ok(h) = fallback.backend().build(graph) {
+                        self.stats.precond_downgrades += 1;
+                        recovered = Ok(h);
+                        break;
+                    }
+                }
+                recovered
+            }
+        }?;
+        Ok(match &self.faults {
+            Some(plan) if plan.plans(FaultKind::PcgStagnation) => Arc::new(FaultInjectedHandle {
+                inner: built,
+                plan: Arc::clone(plan),
+            }),
+            _ => built,
+        })
     }
 
     /// Absorb a low-rank edge delta into the cached factorization
@@ -499,6 +571,15 @@ impl SolverContext {
         if let Some(precond) = base.stale_preconditioner() {
             return Some(Correction::StalePrecond(precond));
         }
+        // Injected capacitance singularity: pretend the update broke
+        // down so the refreshes_on_numeric recovery path runs.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.should_fire(FaultKind::WoodburySingular))
+        {
+            return None;
+        }
         match WoodburyUpdate::new(
             base.num_nodes(),
             state.edges.clone(),
@@ -690,6 +771,64 @@ impl SolverContext {
             (None, None) => {}
         }
         total
+    }
+}
+
+/// The degradation ladder: which methods to fall back to, in order,
+/// when a build breaks down. Strictly toward cheaper, more robust
+/// setups — Jacobi cannot break down on a connected Laplacian. Dense
+/// Cholesky is excluded on purpose: its failure mode is the
+/// `dense_max_nodes` configuration cap, which must surface, not
+/// degrade.
+fn downgrade_ladder(method: PolicyMethod) -> &'static [PolicyMethod] {
+    match method {
+        PolicyMethod::Auto | PolicyMethod::IcholPcg | PolicyMethod::AmgPcg => {
+            &[PolicyMethod::TreePcg, PolicyMethod::JacobiPcg]
+        }
+        PolicyMethod::TreePcg | PolicyMethod::TreeDirect => &[PolicyMethod::JacobiPcg],
+        _ => &[],
+    }
+}
+
+/// A [`SolverHandle`] wrapper that consults a [`FaultPlan`] before
+/// delegating: one [`FaultKind::PcgStagnation`] opportunity per
+/// `solve`/`solve_batch` call, checked on the serial control path
+/// before any parallel dispatch (thread-count invariant). Stats pass
+/// straight through to the wrapped handle.
+struct FaultInjectedHandle {
+    inner: Arc<dyn SolverHandle>,
+    plan: Arc<FaultPlan>,
+}
+
+impl SolverHandle for FaultInjectedHandle {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn method_name(&self) -> &'static str {
+        self.inner.method_name()
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.plan.should_fire(FaultKind::PcgStagnation) {
+            return Err(FaultPlan::error_for(FaultKind::PcgStagnation));
+        }
+        self.inner.solve(b)
+    }
+
+    fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        if self.plan.should_fire(FaultKind::PcgStagnation) {
+            return Err(FaultPlan::error_for(FaultKind::PcgStagnation));
+        }
+        self.inner.solve_batch(rhs)
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.inner.stats()
+    }
+
+    fn stale_preconditioner(&self) -> Option<Arc<dyn Preconditioner + Send + Sync>> {
+        self.inner.stale_preconditioner()
     }
 }
 
@@ -1241,6 +1380,61 @@ mod tests {
             assert_eq!(ctx.handles_built(), 1, "{method:?}");
             assert_matches_fresh(&mut ctx, &g, 11, 1e-7);
         }
+    }
+
+    #[test]
+    fn injected_breakdown_walks_the_downgrade_ladder() {
+        let g = grid2d(5, 5);
+        let mut ctx =
+            SolverContext::new(SolverPolicy::default().with_method(PolicyMethod::IcholPcg));
+        let plan = Arc::new(FaultPlan::new().with_fault(FaultKind::IcholBreakdown, 0));
+        ctx.set_fault_plan(Arc::clone(&plan));
+        let h = ctx.handle_for(&g).unwrap();
+        assert_eq!(h.method_name(), "tree-pcg", "first rung of the ladder");
+        assert_eq!(ctx.revision_stats().precond_downgrades, 1);
+        assert_eq!(plan.injected_count(), 1);
+        // The downgraded handle still solves to policy tolerance.
+        assert_matches_fresh(&mut ctx, &g, 21, 1e-8);
+        // The next rebuild is past the trigger: back to the primary.
+        ctx.invalidate();
+        let h2 = ctx.handle_for(&g).unwrap();
+        assert_eq!(h2.method_name(), "ichol-pcg");
+        assert_eq!(ctx.revision_stats().precond_downgrades, 1);
+    }
+
+    #[test]
+    fn injected_stagnation_surfaces_then_recovers() {
+        let g = grid2d(5, 5);
+        let mut ctx = SolverContext::new(SolverPolicy::default());
+        let plan = Arc::new(FaultPlan::new().with_fault(FaultKind::PcgStagnation, 0));
+        ctx.set_fault_plan(Arc::clone(&plan));
+        let h = ctx.handle_for(&g).unwrap();
+        let b = mean_zero_rhs(25, 5);
+        assert!(matches!(h.solve(&b), Err(LinalgError::NotConverged { .. })));
+        // The trigger is spent: the very same handle serves the retry.
+        h.solve(&b).unwrap();
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(h.stats().solves, 1, "the injected failure is not a solve");
+    }
+
+    #[test]
+    fn injected_woodbury_singularity_forces_refresh() {
+        let n = 20;
+        let mut g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)));
+        let mut ctx =
+            SolverContext::new(SolverPolicy::default().with_method(PolicyMethod::TreeDirect));
+        let plan = Arc::new(FaultPlan::new().with_fault(FaultKind::WoodburySingular, 0));
+        ctx.set_fault_plan(Arc::clone(&plan));
+        ctx.handle_for(&g).unwrap();
+        g.add_edge(0, 10, 0.5);
+        ctx.apply_deltas(&g, &[EdgeDelta::insert(0, 10, 0.5)])
+            .unwrap();
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(ctx.revision_stats().refreshes_on_numeric, 1);
+        // Recovery: the next handle is a clean refactorization.
+        ctx.handle_for(&g).unwrap();
+        assert_eq!(ctx.handles_built(), 2);
+        assert_matches_fresh(&mut ctx, &g, 22, 1e-8);
     }
 
     #[test]

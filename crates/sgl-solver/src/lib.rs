@@ -65,6 +65,7 @@
 pub mod amg;
 pub mod backend;
 pub mod context;
+pub mod fault;
 pub mod ichol;
 pub mod laplacian_solver;
 pub mod preconditioner;
@@ -76,6 +77,7 @@ pub use backend::{
     SolverHandle, SolverPolicy,
 };
 pub use context::{RevisionStats, SolverContext};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ichol::IncompleteCholesky;
 pub use laplacian_solver::{
     LaplacianSolver, SolveScratch, SolverMethod, SolverOptions, SolverStats,

@@ -179,10 +179,10 @@ pub use sgl_solver;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sgl_core::{
-        DenseEigBackend, IterationRecord, LanczosBackend, LearnResult, LearnStrategy,
-        LearnStrategyKind, Measurements, PolicyMethod, ResistanceEstimator, ResistanceMethod,
-        SessionObserver, Sgl, SglConfig, SglSession, SolverPolicy, SolverStrategy, StepOutcome,
-        StopVerdict,
+        DenseEigBackend, FaultEvent, FaultKind, FaultPlan, IterationRecord, LanczosBackend,
+        LearnResult, LearnStrategy, LearnStrategyKind, Measurements, PolicyMethod,
+        ResistanceEstimator, ResistanceMethod, SessionObserver, Sgl, SglConfig, SglError,
+        SglSession, SolverPolicy, SolverStrategy, StepOutcome, StopVerdict,
     };
     pub use sgl_graph::Graph;
     pub use sgl_multilevel::{
