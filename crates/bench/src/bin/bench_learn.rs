@@ -123,6 +123,7 @@ fn run_learn(scenario: &Scenario, config: &SglConfig, threads: usize) -> Run {
         while !session.is_done() {
             session.step().expect("learning");
             if !session.is_done() {
+                let _probe_sp = sgl_trace::span!("probe");
                 let est = session.resistance_estimator().expect("estimator");
                 est.resistances(&probes).expect("probes");
             }
@@ -502,6 +503,7 @@ fn run_resilience_bench(
     while !session.is_done() {
         session.step().expect("faulted learning");
         if !session.is_done() {
+            let _probe_sp = sgl_trace::span!("probe");
             let probed = session
                 .resistance_estimator()
                 .and_then(|est| est.resistances(&probes));
@@ -557,6 +559,141 @@ fn run_resilience_bench(
     }
 }
 
+/// The leaf phases of one learn run — every span name that holds real
+/// work and has no traced children, so their durations partition the
+/// wall-clock without double counting (parents like `iteration` are
+/// excluded).
+const LEAF_PHASES: &[&str] = &[
+    "knn_build",
+    "init",
+    "score",
+    "densify",
+    "refine",
+    "probe",
+    "finish_embed",
+    "scale",
+];
+
+/// The observability arm: a traced rerun of the grid scenario proving
+/// the tracing contracts — the learned graph is bit-identical with the
+/// recorder on (at 1 and N threads), the per-phase breakdown accounts
+/// for the run's wall-clock, and the instrumentation left compiled into
+/// the hot paths costs under 1% of the serial wall when disabled.
+struct TraceBench {
+    phases: Vec<sgl_trace::PhaseTotal>,
+    /// Wall-clock of the traced serial run the phases partition.
+    wall_s: f64,
+    /// Sum of leaf-phase durations over `wall_s`.
+    coverage: f64,
+    events: usize,
+    disabled_ns_per_span: f64,
+    /// Disabled-path cost of all events a run records, as a percentage
+    /// of the untraced serial wall — the "zero-overhead" budget.
+    est_overhead_pct: f64,
+    untraced_wall_s: f64,
+}
+
+fn run_trace_bench(
+    scenario: &Scenario,
+    config: &SglConfig,
+    untraced_serial: &Run,
+    untraced_parallel: &Run,
+    threads: usize,
+    trace_out: Option<&std::path::Path>,
+) -> TraceBench {
+    // Disabled-path cost per span site: one relaxed atomic load and an
+    // inert guard. Measured directly so the budget below is the real
+    // per-event price on this host, not a guess.
+    assert!(
+        !sgl_trace::enabled(),
+        "trace bench must start with the recorder off"
+    );
+    let reps: u64 = 4_000_000;
+    let ((), probe_wall) = time(|| {
+        for _ in 0..reps {
+            let g = sgl_trace::span("trace_noop");
+            std::hint::black_box(&g);
+        }
+    });
+    let disabled_ns_per_span = probe_wall * 1e9 / reps as f64;
+
+    // Traced rerun, serial and parallel: tracing must never touch the
+    // deterministic control path, so the learned graphs have to match
+    // the untraced rows bit for bit.
+    sgl_trace::clear();
+    sgl_trace::reset_metrics();
+    sgl_trace::enable();
+    let traced_serial = run_learn(scenario, config, 1);
+    let events = sgl_trace::take_events();
+    let traced_parallel = run_learn(scenario, config, threads);
+    sgl_trace::disable();
+    sgl_trace::clear();
+    assert_identical("grid-traced-serial", untraced_serial, &traced_serial);
+    assert_identical("grid-traced-parallel", untraced_parallel, &traced_parallel);
+    println!(
+        "\ntrace: learned graphs bit-identical with the recorder on, 1 and {threads} threads ✓"
+    );
+
+    let phases = sgl_trace::phase_totals(&events, LEAF_PHASES);
+    let phase_total_s: f64 = phases.iter().map(|p| p.total_ns as f64 / 1e9).sum();
+    let coverage = phase_total_s / traced_serial.wall_s;
+    for p in &phases {
+        println!(
+            "trace: {:>12}  {:>9.4}s  {:>5.1}%  ({} spans)",
+            p.name,
+            p.total_ns as f64 / 1e9,
+            p.total_ns as f64 / 1e9 / traced_serial.wall_s * 100.0,
+            p.count
+        );
+    }
+    println!(
+        "trace: leaf phases cover {:.1}% of the {:.3}s traced wall ({} events)",
+        coverage * 100.0,
+        traced_serial.wall_s,
+        events.len()
+    );
+    assert!(
+        (0.95..=1.05).contains(&coverage),
+        "phase breakdown covers {:.1}% of the wall-clock; \
+         the leaf spans no longer partition the run",
+        coverage * 100.0
+    );
+
+    // The budget: every event the traced run recorded exists as a span
+    // or instant site the untraced run also passes through. Disabled,
+    // each costs `disabled_ns_per_span`; the total must stay under 1%
+    // of the untraced serial wall.
+    let est_overhead_pct =
+        disabled_ns_per_span * events.len() as f64 / (untraced_serial.wall_s * 1e9) * 100.0;
+    println!(
+        "trace: disabled span costs {disabled_ns_per_span:.2}ns; {} events over a {:.3}s run \
+         = {est_overhead_pct:.4}% disabled overhead (budget 1%)",
+        events.len(),
+        untraced_serial.wall_s
+    );
+    assert!(
+        est_overhead_pct < 1.0,
+        "disabled tracing costs {est_overhead_pct:.3}% of the serial wall (budget 1%)"
+    );
+
+    if let Some(path) = trace_out {
+        sgl_trace::write_chrome_trace(path, &events).expect("write chrome trace");
+        let folded = path.with_extension("folded");
+        std::fs::write(&folded, sgl_trace::folded_stacks(&events)).expect("write folded stacks");
+        println!("wrote {} and {}", path.display(), folded.display());
+    }
+
+    TraceBench {
+        phases,
+        wall_s: traced_serial.wall_s,
+        coverage,
+        events: events.len(),
+        disabled_ns_per_span,
+        est_overhead_pct,
+        untraced_wall_s: untraced_serial.wall_s,
+    }
+}
+
 /// Extract the sorted set of JSON object keys (`"key":`) — the schema
 /// fingerprint the CI smoke run diffs against the tracked snapshot.
 fn json_keys(text: &str) -> Vec<String> {
@@ -594,8 +731,8 @@ fn main() {
     // host's real parallelism so the tracked timings are interpretable.
     let effective_threads = threads.min(par::max_threads());
     if threads > par::max_threads() {
-        eprintln!(
-            "warning: {threads} worker threads requested but the host has only {} cores; \
+        sgl_trace::warn!(
+            "{threads} worker threads requested but the host has only {} cores; \
              parallel arms will oversubscribe (effective_threads = {effective_threads})",
             par::max_threads()
         );
@@ -829,6 +966,27 @@ fn main() {
         res.max_weight_rel_diff,
     );
 
+    // Observability arm: traced grid rerun (bit-identity + phase
+    // breakdown) and the disabled-path overhead budget. `--trace PATH`
+    // additionally exports the Chrome trace and folded stacks.
+    let trace_path = {
+        let flag = args.get("trace", String::new());
+        (!flag.is_empty()).then(|| std::path::PathBuf::from(flag))
+    };
+    let grid_parallel = &rows
+        .iter()
+        .find(|r| r.0 == "grid" && r.2.threads == threads)
+        .expect("parallel grid row")
+        .2;
+    let tb = run_trace_bench(
+        &scenarios[0],
+        &config,
+        grid_serial,
+        grid_parallel,
+        threads,
+        trace_path.as_deref(),
+    );
+
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"learn\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
@@ -952,6 +1110,28 @@ fn main() {
         ml.multi_edges,
         sci(ml.eig_rel_err),
         ml.eig_corr,
+    ));
+    json.push_str("  \"phase_breakdown\": {\"scenario\": \"grid\", ");
+    json.push_str(&format!(
+        "\"wall_s\": {:.9}, \"coverage\": {:.4}, \"events\": {}, \"phases\": [\n",
+        tb.wall_s, tb.coverage, tb.events
+    ));
+    for (i, p) in tb.phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"total_s\": {:.9}, \"share\": {:.4}, \"spans\": {}}}{}\n",
+            p.name,
+            p.total_ns as f64 / 1e9,
+            p.total_ns as f64 / 1e9 / tb.wall_s,
+            p.count,
+            if i + 1 < tb.phases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"trace_overhead\": {{\"disabled_ns_per_span\": {:.3}, \"events_per_run\": {}, \
+         \"disabled_overhead_pct\": {:.6}, \"wall_s_untraced\": {:.9}, \
+         \"wall_s_traced\": {:.9}, \"bit_identical_traced_vs_untraced\": true}},\n",
+        tb.disabled_ns_per_span, tb.events, tb.est_overhead_pct, tb.untraced_wall_s, tb.wall_s,
     ));
     let kinds: Vec<String> = res.fault_kinds.iter().map(|k| format!("\"{k}\"")).collect();
     json.push_str(&format!(

@@ -152,8 +152,8 @@ fn main() {
     // parallelism so the tracked latency numbers are interpretable.
     let effective_threads = max_readers.min(par::max_threads());
     if max_readers > par::max_threads() {
-        eprintln!(
-            "warning: {max_readers} reader threads requested but the host has only {} cores; \
+        sgl_trace::warn!(
+            "{max_readers} reader threads requested but the host has only {} cores; \
              reader arms will oversubscribe (effective_threads = {effective_threads})",
             par::max_threads()
         );
@@ -198,6 +198,19 @@ fn main() {
     let mut session =
         SglSession::from_owned(config, column_batch(0, initial_cols)).expect("session");
     session.run_to_completion().expect("initial learn");
+
+    // `--trace PATH` records the serving timeline — query / batch_solve /
+    // respond spans, queue-wait intervals, ingest / publish events — and
+    // exports it as a Chrome trace at exit. Enabled only for the serving
+    // phase so the learn preamble does not drown the timeline.
+    let trace_path = {
+        let flag = args.get("trace", String::new());
+        (!flag.is_empty()).then(|| std::path::PathBuf::from(flag))
+    };
+    if trace_path.is_some() {
+        sgl_trace::clear();
+        sgl_trace::enable();
+    }
 
     let opts = ServeOptions {
         batch_window: Duration::from_micros(window_us),
@@ -333,6 +346,31 @@ fn main() {
         publishes, rev.delta_updates, rev.delta_rank_applied, rev.handles_built
     );
 
+    // Server-side latency: measured inside the micro-batcher for every
+    // query (including the collection window and queue wait), the
+    // authoritative numbers — the bench-side per-arm percentiles above
+    // only see the client clock and miss abandoned requests.
+    println!(
+        "server-side latency: p50 {:.3} ms, p99 {:.3} ms; queue wait p50 {:.3} ms, \
+         p99 {:.3} ms over {} queries",
+        stats.query_latency_p50_ms,
+        stats.query_latency_p99_ms,
+        stats.queue_wait_p50_ms,
+        stats.queue_wait_p99_ms,
+        stats.queries_answered,
+    );
+    assert!(
+        stats.query_latency_p99_ms > 0.0,
+        "server-side latency histogram recorded nothing"
+    );
+
+    if let Some(path) = &trace_path {
+        sgl_trace::disable();
+        let events = sgl_trace::take_events();
+        sgl_trace::write_chrome_trace(path, &events).expect("write chrome trace");
+        println!("wrote {} ({} events)", path.display(), events.len());
+    }
+
     // Hand-rolled JSON (no serde in the offline image).
     let mut json = String::from("{\n  \"bench\": \"serve\",\n");
     json.push_str(&format!("  \"host_cores\": {},\n", par::max_threads()));
@@ -384,6 +422,15 @@ fn main() {
         rev.delta_updates,
         rev.delta_rank_applied,
         rev.refreshes_on_rank + rev.refreshes_on_iters + rev.refreshes_on_numeric,
+    ));
+    json.push_str(&format!(
+        "  \"server_latency\": {{\"query_p50_ms\": {:.6}, \"query_p99_ms\": {:.6}, \
+         \"queue_wait_p50_ms\": {:.6}, \"queue_wait_p99_ms\": {:.6}, \
+         \"measured\": \"in-server\"}},\n",
+        stats.query_latency_p50_ms,
+        stats.query_latency_p99_ms,
+        stats.queue_wait_p50_ms,
+        stats.queue_wait_p99_ms,
     ));
     json.push_str(&format!(
         "  \"serve_stats\": {{\"queries_answered\": {}, \"batches_executed\": {}, \

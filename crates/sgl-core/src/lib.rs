@@ -73,7 +73,7 @@ pub mod sensitivity;
 pub mod session;
 pub mod strategy;
 
-pub use algorithm::{IterationRecord, LearnResult, Sgl, StopVerdict};
+pub use algorithm::{IterationRecord, LearnResult, Sgl, StepTimings, StopVerdict};
 pub use backend::{
     CandidateScorer, DenseEigBackend, EdgeScaler, EmbeddingBackend, LanczosBackend, NoScaler,
     SensitivityThreshold, SpectralGradientScorer, SpectralScaler, StoppingRule,

@@ -35,7 +35,7 @@
 //! # Ok::<(), sgl_core::SglError>(())
 //! ```
 
-use crate::algorithm::{IterationRecord, LearnResult, StopVerdict};
+use crate::algorithm::{IterationRecord, LearnResult, StepTimings, StopVerdict};
 use crate::backend::{CandidateScorer, EdgeScaler, EmbeddingBackend, StoppingRule};
 use crate::config::SglConfig;
 use crate::embedding::{Embedding, EmbeddingOptions};
@@ -51,6 +51,7 @@ use sgl_linalg::par::with_threads_hint as with_session_threads;
 use sgl_solver::{FaultPlan, SolverContext};
 use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a single [`SglSession::step`] did.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,6 +226,9 @@ impl<'m> SglSession<'m> {
         config: SglConfig,
         measurements: Cow<'m, Measurements>,
     ) -> Result<Self, SglError> {
+        // Honor SGL_TRACE/SGL_LOG for any program that builds a session,
+        // without requiring code changes at the call site.
+        sgl_trace::init_from_env();
         config.validate()?;
         let n = measurements.num_nodes();
         if n < 4 {
@@ -232,9 +236,12 @@ impl<'m> SglSession<'m> {
                 "need at least 4 nodes to learn a graph".into(),
             ));
         }
-        let knn_graph = with_session_threads(config.parallelism, || {
-            build_knn_graph(measurements.voltages(), &config.knn_graph_config())
-        });
+        let knn_graph = {
+            let _sp = sgl_trace::span!("knn_build", count = n);
+            with_session_threads(config.parallelism, || {
+                build_knn_graph(measurements.voltages(), &config.knn_graph_config())
+            })
+        };
         let mut session = Self::init(config, measurements, knn_graph)?;
         session.knn_candidates = true;
         Ok(session)
@@ -259,6 +266,8 @@ impl<'m> SglSession<'m> {
         measurements: Cow<'m, Measurements>,
         knn_graph: Graph,
     ) -> Result<Self, SglError> {
+        sgl_trace::init_from_env();
+        let _sp = sgl_trace::span!("init");
         config.validate()?;
         let n = measurements.num_nodes();
         if knn_graph.num_nodes() != n {
@@ -507,7 +516,12 @@ impl<'m> SglSession<'m> {
         Ok(self.embedding.as_ref().expect("embedding just ensured"))
     }
 
-    fn push_record(&mut self, smax: f64, edges_added: usize) -> IterationRecord {
+    fn push_record(
+        &mut self,
+        smax: f64,
+        edges_added: usize,
+        timings: StepTimings,
+    ) -> IterationRecord {
         let record = IterationRecord {
             iteration: self.trace.len() + 1,
             smax,
@@ -518,8 +532,11 @@ impl<'m> SglSession<'m> {
                 .as_ref()
                 .and_then(|e| e.eigenvalues.first().copied())
                 .unwrap_or(0.0),
+            timings,
         };
         self.trace.push(record);
+        sgl_trace::count("session.iterations", 1);
+        sgl_trace::count("session.edges_added", edges_added as u64);
         for obs in &mut self.observers {
             obs.on_iteration(&record);
         }
@@ -613,6 +630,12 @@ impl<'m> SglSession<'m> {
             return Ok(StepOutcome::CapReached);
         }
         self.epoch_iterations += 1;
+        let _iter_sp = sgl_trace::span!("iteration", count = self.trace.len() + 1);
+        // Phase timing is measurement-only (clock reads never influence
+        // control flow), so results stay bit-identical however fast or
+        // slow — or traced or untraced — the run is.
+        let phase_start = Instant::now();
+        let score_sp = sgl_trace::span!("score");
         self.ensure_embedding()?;
 
         if self.pool.is_empty() {
@@ -640,11 +663,20 @@ impl<'m> SglSession<'m> {
         let embedding = self.embedding.as_ref().expect("embedding ensured above");
         let sens = self.scorer.score(&self.pool, embedding);
         let smax = sens.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        drop(score_sp);
+        let score_s = phase_start.elapsed().as_secs_f64();
 
         // Step 4: convergence check.
         let iteration = self.trace.len() + 1;
         if self.stopping.is_converged(iteration, smax) {
-            let record = self.push_record(smax, 0);
+            let record = self.push_record(
+                smax,
+                0,
+                StepTimings {
+                    score_s,
+                    ..StepTimings::default()
+                },
+            );
             self.converged = true;
             self.halted = true;
             self.verdict = StopVerdict::Converged;
@@ -652,6 +684,8 @@ impl<'m> SglSession<'m> {
         }
 
         // Densification: add the top ⌈Nβ⌉ candidates above tolerance.
+        let densify_start = Instant::now();
+        let densify_sp = sgl_trace::span!("densify");
         let picked = self.pool.select_top(
             &sens,
             self.edges_per_iteration(),
@@ -669,7 +703,17 @@ impl<'m> SglSession<'m> {
         // (it refreshes itself at the policy's delta-rank /
         // iteration-blow-up cadence).
         self.solver.apply_deltas(&self.graph, &deltas)?;
-        let record = self.push_record(smax, added);
+        drop(densify_sp);
+        let densify_s = densify_start.elapsed().as_secs_f64();
+        let record = self.push_record(
+            smax,
+            added,
+            StepTimings {
+                score_s,
+                densify_s,
+                refine_s: 0.0,
+            },
+        );
         if added == 0 {
             // smax ≥ tol but nothing selectable: numerical corner, treat
             // as converged to avoid spinning (the verdict records the
@@ -682,6 +726,8 @@ impl<'m> SglSession<'m> {
 
         // Warm-start the next embedding from this iteration's block: only
         // ~⌈Nβ⌉ edges changed, so the old block is nearly invariant.
+        let refine_start = Instant::now();
+        let refine_sp = sgl_trace::span!("refine");
         let warm = self.embedding.take().expect("embedding ensured above");
         let width = self.embedding_width();
         let shift = self.config.shift();
@@ -694,6 +740,12 @@ impl<'m> SglSession<'m> {
             Some(&warm.coords),
             &mut self.solver,
         )?);
+        drop(refine_sp);
+        // The record was delivered to observers before the re-embed ran;
+        // patch the trace's copy so the final breakdown is complete.
+        if let Some(last) = self.trace.last_mut() {
+            last.timings.refine_s = refine_start.elapsed().as_secs_f64();
+        }
         Ok(StepOutcome::Progressed(record))
     }
 
@@ -762,16 +814,22 @@ impl<'m> SglSession<'m> {
         // Both the final embedding and Step-5 scaling get the same
         // one-retry recovery as `step`: invalidate the solver state and
         // re-run on a fresh factorization before giving up.
-        if let Err(e) = with_session_threads(parallelism, || self.ensure_embedding().map(|_| ())) {
-            match e {
-                SglError::Linalg(_) => {
-                    self.solver.invalidate();
-                    with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
+        {
+            let _sp = sgl_trace::span!("finish_embed");
+            if let Err(e) =
+                with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))
+            {
+                match e {
+                    SglError::Linalg(_) => {
+                        self.solver.invalidate();
+                        with_session_threads(parallelism, || self.ensure_embedding().map(|_| ()))?;
+                    }
+                    other => return Err(other),
                 }
-                other => return Err(other),
             }
         }
         let scale_factor = if self.config.scale_edges {
+            let _sp = sgl_trace::span!("scale");
             let attempt = with_session_threads(parallelism, || {
                 self.scaler
                     .scale(&mut self.graph, &self.measurements, &mut self.solver)
@@ -805,6 +863,9 @@ impl<'m> SglSession<'m> {
         for obs in &mut self.observers {
             obs.on_finish(&result);
         }
+        // If SGL_TRACE named an output path, (re)write the Chrome trace
+        // now — the natural end of a learning run for plain examples.
+        sgl_trace::export_env_trace();
         Ok(result)
     }
 

@@ -32,6 +32,15 @@
 //! sums across a partition boundary (dot products, norms) are therefore
 //! deliberately **not** parallelized anywhere in the workspace; only
 //! per-row / per-item maps are.
+//!
+//! # Observability
+//!
+//! When the [`sgl_trace`] recorder is enabled, every region that actually
+//! fans out records a span (`par_map`, `par_rows`, or `par_join`) whose
+//! payload carries the chunk count — a thread-utilization view of the run.
+//! Serial fast paths (one chunk, nested regions) record nothing, and
+//! tracing never affects results: chunking and reassembly are identical
+//! with the recorder on or off.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -163,6 +172,7 @@ pub fn join<A: Send, B: Send>(
     if current_threads() <= 1 {
         return (fa(), fb());
     }
+    let _region = sgl_trace::span!("par_join", count = 2);
     std::thread::scope(|s| {
         let hb = s.spawn(|| serial_region(fb));
         let a = serial_region(fa);
@@ -201,6 +211,7 @@ pub fn for_each_row_chunk<T: Send>(
         return;
     }
     let ranges = partition(nrows, chunks);
+    let _region = sgl_trace::span!("par_rows", count = chunks);
     std::thread::scope(|s| {
         let mut rest = data;
         let mut iter = ranges.into_iter();
@@ -279,6 +290,7 @@ pub fn try_map_chunked<T: Send, E: Send>(
         return Ok(v);
     }
     let ranges = partition(n, chunks);
+    let _region = sgl_trace::span!("par_map", count = chunks);
     let results: Vec<Result<Vec<T>, E>> = std::thread::scope(|s| {
         let fr = &f;
         let mut handles = Vec::with_capacity(ranges.len() - 1);

@@ -235,12 +235,15 @@ fn learn_inner(
     // solver-free config keeps the entire multilevel run at
     // `solves == 0` / `handles_built == 0`.
     let strategy = resolve_strategy(config)?;
-    let hierarchy = MultilevelHierarchy::build(
-        &candidate,
-        config.coarsening_ratio,
-        config.max_levels,
-        &opts.hierarchy,
-    )?;
+    let hierarchy = {
+        let _sp = sgl_trace::span!("coarsen", count = candidate.num_nodes());
+        MultilevelHierarchy::build(
+            &candidate,
+            config.coarsening_ratio,
+            config.max_levels,
+            &opts.hierarchy,
+        )?
+    };
     let coarsest = hierarchy.num_levels() - 1;
 
     // Restrict the measurements level by level: voltages by aggregate
@@ -282,7 +285,10 @@ fn learn_inner(
         session =
             session.with_embedding_backend(Box::new(sgl_core::DenseEigBackend::with_limit(0)));
     }
-    let coarse_result = session.run()?;
+    let coarse_result = {
+        let _sp = sgl_trace::span!("level", count = coarsest);
+        session.run()?
+    };
 
     // Upward sweep: prolong, densify, refine, optionally prune — all
     // through one solver context so the stats add up. Auxiliary solves
@@ -307,6 +313,7 @@ fn learn_inner(
     let mut warm_coords = Some(coarse_result.embedding.coords.clone());
     let mut prune_stats = SolveStats::default();
     for l in (0..coarsest).rev() {
+        let _level_sp = sgl_trace::span!("level", count = l);
         let level = hierarchy.level(l);
         let coarsening = level.coarsening.as_ref().expect("inner level");
         let mut fine = prolong(&level.graph, coarsening, &current)?;

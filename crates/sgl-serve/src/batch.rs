@@ -31,7 +31,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sgl_core::{FaultKind, FaultPlan};
 
@@ -59,6 +59,9 @@ pub(crate) enum Reply {
 struct Pending {
     payload: Payload,
     reply: mpsc::Sender<Result<(u64, Reply), ServeError>>,
+    /// When the request entered the queue — the leader stamps every
+    /// drained request's queue-wait against this.
+    enqueued: Instant,
 }
 
 /// Counters describing how much coalescing actually happened.
@@ -77,6 +80,17 @@ pub struct BatchStats {
     /// Requests abandoned by their caller after waiting past the
     /// deadline.
     pub deadline_misses: u64,
+    /// Median end-to-end query latency (submit to reply), milliseconds.
+    /// Measured inside the server for every micro-batched query, so it
+    /// includes queue wait, the collection window, and the shared solve.
+    pub query_latency_p50_ms: f64,
+    /// 99th-percentile end-to-end query latency, milliseconds.
+    pub query_latency_p99_ms: f64,
+    /// Median time a request sat in the queue before its leader drained
+    /// it, milliseconds.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait, milliseconds.
+    pub queue_wait_p99_ms: f64,
 }
 
 /// Leader/follower micro-batcher (see the [module docs](self)).
@@ -95,6 +109,12 @@ pub(crate) struct MicroBatcher {
     largest_batch: AtomicU64,
     retries: AtomicU64,
     deadline_misses: AtomicU64,
+    /// End-to-end latency of every `submit`, nanoseconds. Always
+    /// recording (a few atomic adds per query), independent of whether
+    /// the trace recorder is on.
+    latency: sgl_trace::Histogram,
+    /// Enqueue-to-drain wait of every request, nanoseconds.
+    queue_wait: sgl_trace::Histogram,
 }
 
 /// A panicked reader cannot leave the queue corrupt (pushes and drains
@@ -127,10 +147,13 @@ impl MicroBatcher {
             largest_batch: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            latency: sgl_trace::Histogram::new(),
+            queue_wait: sgl_trace::Histogram::new(),
         }
     }
 
     pub(crate) fn stats(&self) -> BatchStats {
+        let ms = |ns: u64| ns as f64 / 1e6;
         BatchStats {
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced.load(Ordering::Relaxed),
@@ -138,6 +161,10 @@ impl MicroBatcher {
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            query_latency_p50_ms: ms(self.latency.percentile(50.0)),
+            query_latency_p99_ms: ms(self.latency.percentile(99.0)),
+            queue_wait_p50_ms: ms(self.queue_wait.percentile(50.0)),
+            queue_wait_p99_ms: ms(self.queue_wait.percentile(99.0)),
         }
     }
 
@@ -149,6 +176,8 @@ impl MicroBatcher {
         cell: &SnapshotCell<GraphSnapshot>,
         mut payload: Payload,
     ) -> Result<(u64, Reply), ServeError> {
+        let submitted = Instant::now();
+        let _query_sp = sgl_trace::span!("query");
         if let Some(plan) = &self.faults {
             if plan.should_fire(FaultKind::PoisonQuery) {
                 poison(&mut payload);
@@ -157,30 +186,37 @@ impl MicroBatcher {
         let (tx, rx) = mpsc::channel();
         let leader = {
             let mut queue = heal(&self.queue);
-            queue.push(Pending { payload, reply: tx });
+            queue.push(Pending {
+                payload,
+                reply: tx,
+                enqueued: submitted,
+            });
             queue.len() == 1
         };
-        if leader {
+        let result = if leader {
             if !self.window.is_zero() {
                 std::thread::sleep(self.window);
             }
             let batch = std::mem::take(&mut *heal(&self.queue));
             self.execute(cell, batch);
             // The leader answered itself through its own channel.
-            return rx.recv().map_err(|_| ServeError::Closed)?;
-        }
-        // Followers bound their wait: a stalled or retrying leader must
-        // not hold every caller hostage.
-        match rx.recv_timeout(self.deadline) {
-            Ok(reply) => reply,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::DeadlineExceeded {
-                    deadline_ms: self.deadline.as_millis() as u64,
-                })
+            rx.recv().map_err(|_| ServeError::Closed)?
+        } else {
+            // Followers bound their wait: a stalled or retrying leader
+            // must not hold every caller hostage.
+            match rx.recv_timeout(self.deadline) {
+                Ok(reply) => reply,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::DeadlineExceeded {
+                        deadline_ms: self.deadline.as_millis() as u64,
+                    })
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
-        }
+        };
+        self.latency.record(submitted.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Re-attempt a failed shared solve a bounded number of times.
@@ -208,6 +244,18 @@ impl MicroBatcher {
 
     /// Answer a drained batch against one snapshot load.
     fn execute(&self, cell: &SnapshotCell<GraphSnapshot>, batch: Vec<Pending>) {
+        let drained = Instant::now();
+        for pending in &batch {
+            let waited = drained.saturating_duration_since(pending.enqueued);
+            self.queue_wait.record(waited.as_nanos() as u64);
+            sgl_trace::record_interval(
+                "queue_wait",
+                pending.enqueued,
+                drained,
+                sgl_trace::Payload::None,
+            );
+        }
+        sgl_trace::observe("serve.batch_occupancy", batch.len() as u64);
         let (version, snap) = cell.load();
         let n = snap.num_nodes();
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -265,6 +313,7 @@ impl MicroBatcher {
         // One chunked fan-out per payload kind; a solver-level failure
         // (after bounded retries) is replicated to every request that
         // contributed to the union.
+        let solve_sp = sgl_trace::span!("batch_solve", count = res_pairs.len() + interp_rhs.len());
         let res_values = self.chunked(&res_pairs, |chunk| {
             self.with_retry(|| snap.resistances(chunk))
         });
@@ -296,6 +345,8 @@ impl MicroBatcher {
             }
         }
 
+        drop(solve_sp);
+        let _respond_sp = sgl_trace::span!("respond", count = batch.len());
         for (pending, reply) in batch.into_iter().zip(replies) {
             let reply = reply.expect("every request got a verdict");
             // A vanished receiver just means the caller gave up waiting.

@@ -105,6 +105,18 @@ pub struct ServeStats {
     /// Times the supervised writer thread panicked and was rebuilt from
     /// the accumulated measurements.
     pub writer_restarts: u64,
+    /// Median end-to-end latency of micro-batched queries, measured
+    /// inside the server from submit to reply, in milliseconds. This is
+    /// the authoritative serving latency — client-side timing adds
+    /// handle-call overhead and misses deadline-abandoned requests.
+    pub query_latency_p50_ms: f64,
+    /// 99th-percentile end-to-end query latency, milliseconds.
+    pub query_latency_p99_ms: f64,
+    /// Median time a request waited in the micro-batch queue before its
+    /// leader drained it, milliseconds.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait, milliseconds.
+    pub queue_wait_p99_ms: f64,
     /// The session solver context's revision counters at the last
     /// publish — shows delta updates vs. full refactorizations.
     pub revision: RevisionStats,
@@ -153,6 +165,14 @@ impl std::fmt::Debug for Shared {
             .field("queries", &self.queries.load(Ordering::Relaxed))
             .finish()
     }
+}
+
+/// Count a rejected batch in the shared stats and on the trace
+/// timeline (`quarantine` instant + `serve.quarantines` counter).
+fn note_quarantine(shared: &Shared) {
+    sgl_trace::trace_event!("quarantine");
+    sgl_trace::count("serve.quarantines", 1);
+    shared.batches_quarantined.fetch_add(1, Ordering::Relaxed);
 }
 
 impl SglServer {
@@ -222,9 +242,7 @@ impl SglServer {
     pub fn ingest(&self, batch: Measurements) -> Result<(), ServeError> {
         let nodes = self.shared.cell.load().1.num_nodes();
         if batch.num_nodes() != nodes {
-            self.shared
-                .batches_quarantined
-                .fetch_add(1, Ordering::Relaxed);
+            note_quarantine(&self.shared);
             return Err(ServeError::BadQuery(format!(
                 "ingest batch has {} nodes; server is learning a {nodes}-node graph",
                 batch.num_nodes()
@@ -297,6 +315,8 @@ fn absorb_batch(
     let next = shared.cell.version() + 1;
     let snapshot = GraphSnapshot::from_session(session, opts.clusters, next)?;
     shared.cell.publish(Arc::new(snapshot));
+    sgl_trace::trace_event!("publish", count = next);
+    sgl_trace::count("serve.publishes", 1);
     shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
     shared
         .measurements_ingested
@@ -329,6 +349,8 @@ fn writer_loop(
     while let Ok(msg) = rx.recv() {
         match msg {
             WriterMsg::Ingest(batch) => {
+                let _ingest_sp = sgl_trace::span!("ingest", count = batch.num_measurements());
+                sgl_trace::count("serve.ingest_batches", 1);
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     if let Some(plan) = &opts.fault_plan {
                         if plan.should_fire(FaultKind::WriterPanic) {
@@ -345,13 +367,15 @@ fn writer_loop(
                     Ok(Err(_)) => {
                         // Absorb failed cleanly: quarantine the batch,
                         // keep the session and the served snapshot.
-                        shared.batches_quarantined.fetch_add(1, Ordering::Relaxed);
+                        note_quarantine(&shared);
                     }
                     Err(_) => {
                         // The writer panicked mid-absorb. The session
                         // may be half-mutated — rebuild it from the
                         // accumulated measurements and retry the batch
                         // once; if that fails too, quarantine it.
+                        sgl_trace::trace_event!("writer_restart");
+                        sgl_trace::count("serve.writer_restarts", 1);
                         shared.writer_restarts.fetch_add(1, Ordering::Relaxed);
                         let mut rebuilt =
                             SglSession::from_owned(config.clone(), accumulated.clone())?;
@@ -366,7 +390,7 @@ fn writer_loop(
                                 config = session.config().clone();
                             }
                             Err(_) => {
-                                shared.batches_quarantined.fetch_add(1, Ordering::Relaxed);
+                                note_quarantine(&shared);
                             }
                         }
                     }
@@ -515,6 +539,10 @@ impl ServeHandle {
             largest_batch: batch.largest_batch,
             query_retries: batch.retries,
             deadline_misses: batch.deadline_misses,
+            query_latency_p50_ms: batch.query_latency_p50_ms,
+            query_latency_p99_ms: batch.query_latency_p99_ms,
+            queue_wait_p50_ms: batch.queue_wait_p50_ms,
+            queue_wait_p99_ms: batch.queue_wait_p99_ms,
             batches_quarantined: self.shared.batches_quarantined.load(Ordering::Relaxed),
             writer_restarts: self.shared.writer_restarts.load(Ordering::Relaxed),
             revision: snap.revision_stats(),

@@ -116,6 +116,7 @@ pub fn band_basis(
     opts: &BandBasisOptions,
 ) -> DenseMatrix {
     let bands = skeleton.len() + 1;
+    let _sp = sgl_trace::span!("band_build", count = bands);
     let per_band = if opts.vectors_per_band > 0 {
         opts.vectors_per_band
     } else {

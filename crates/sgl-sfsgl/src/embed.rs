@@ -172,6 +172,7 @@ impl sgl_core::EmbeddingBackend for BandedEigBackend {
             oversample: self.oversample,
             ..FilteredSpectrumOptions::default()
         };
+        let _rr_sp = sgl_trace::span!("rayleigh_ritz", count = self.rr_passes.max(1));
         let mut pairs = filtered_spectrum(&op, &diag, width, Some(&stacked), &fs_opts)?;
         // Filtered subspace iteration: smooth the Ritz block and
         // re-project. Smoothing damps the eigencomponent at `λ` by

@@ -63,10 +63,25 @@ impl StatCell {
         self.iterations.fetch_add(iterations, Ordering::Relaxed);
         self.last_residual_bits
             .store(residual.to_bits(), Ordering::Relaxed);
+        // Mirror into the unified metrics registry. Calls are per-solve
+        // (post-join, in RHS order), so totals are bit-stable across thread
+        // counts; gated on the recorder, so the disabled path stays a single
+        // relaxed load inside `count`/`observe`.
+        sgl_trace::count("solver.solves", rhs as u64);
+        sgl_trace::count("solver.pcg_iterations_total", iterations as u64);
+        if iterations > 0 {
+            sgl_trace::observe("solver.pcg_iterations", iterations as u64);
+        }
+        if residual > 0.0 && residual.is_finite() {
+            // Histogram of achieved accuracy in bits: -log2(residual).
+            let bits = (-residual.log2()).clamp(0.0, 1024.0) as u64;
+            sgl_trace::observe("solver.residual_bits", bits);
+        }
     }
 
     pub(crate) fn record_batch(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        sgl_trace::count("solver.batches", 1);
     }
 
     pub(crate) fn snapshot(&self) -> SolveStats {
@@ -204,12 +219,14 @@ impl SolverHandle for IterativeHandle {
     }
 
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let _sp = sgl_trace::span!("pcg_solve");
         let (x, st) = self.solver.solve_with_stats(b)?;
         self.stats.record(1, st.iterations, st.relative_residual);
         Ok(x)
     }
 
     fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        let _sp = sgl_trace::span!("solve_batch", count = rhs.len());
         self.stats.record_batch();
         let n = self.solver.num_nodes();
         // Fan out across right-hand sides; every solve is independent and
@@ -363,12 +380,14 @@ impl SolverHandle for DenseCholeskyHandle {
     }
 
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let _sp = sgl_trace::span!("dense_solve");
         let x = self.solve_one(b)?;
         self.stats.record(1, 0, 0.0);
         Ok(x)
     }
 
     fn solve_batch(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        let _sp = sgl_trace::span!("solve_batch", count = rhs.len());
         self.stats.record_batch();
         // Independent triangular sweeps per RHS: fan out like the
         // iterative handle (results are per-RHS exact either way).
@@ -411,6 +430,19 @@ pub enum PolicyMethod {
 }
 
 impl PolicyMethod {
+    /// Short stable name (for logs, traces, and downgrade events).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyMethod::Auto => "auto",
+            PolicyMethod::TreeDirect => "tree-direct",
+            PolicyMethod::TreePcg => "tree-pcg",
+            PolicyMethod::AmgPcg => "amg-pcg",
+            PolicyMethod::JacobiPcg => "jacobi-pcg",
+            PolicyMethod::IcholPcg => "ichol-pcg",
+            PolicyMethod::DenseCholesky => "dense-cholesky",
+        }
+    }
+
     /// The facade method this policy method maps to (`None` for the
     /// dense reference, which bypasses the facade).
     pub fn solver_method(self) -> Option<SolverMethod> {

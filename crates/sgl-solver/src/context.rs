@@ -207,6 +207,14 @@ impl std::fmt::Debug for SolverContext {
     }
 }
 
+/// Mirror a scheduled refactorization into the trace/metrics registry
+/// (labelled instant event + unified counter). No-op while the recorder
+/// is disabled.
+fn note_refresh(kind: &'static str) {
+    sgl_trace::count("solver.refreshes", 1);
+    sgl_trace::trace_event!("handle_refresh", label = kind);
+}
+
 impl SolverContext {
     /// Create a context for the given policy.
     pub fn new(policy: SolverPolicy) -> Self {
@@ -308,10 +316,15 @@ impl SolverContext {
         if rebuild {
             if iter_flagged {
                 self.stats.refreshes_on_iters += 1;
+                note_refresh("iters");
             }
             self.retire_current();
-            let handle = self.build_with_degradation(graph)?;
+            let handle = {
+                let _sp = sgl_trace::span!("handle_build", count = graph.num_nodes());
+                self.build_with_degradation(graph)?
+            };
             self.stats.handles_built += 1;
+            sgl_trace::count("solver.handles_built", 1);
             self.stale = false;
             self.revision = graph.revision();
             #[cfg(debug_assertions)]
@@ -364,6 +377,8 @@ impl SolverContext {
                     let fallback = self.policy.clone().with_method(method);
                     if let Ok(h) = fallback.backend().build(graph) {
                         self.stats.precond_downgrades += 1;
+                        sgl_trace::count("solver.precond_downgrades", 1);
+                        sgl_trace::trace_event!("precond_downgrade", label = method.name());
                         recovered = Ok(h);
                         break;
                     }
@@ -403,6 +418,7 @@ impl SolverContext {
     /// the full-refactorization schedule. The `Result` keeps room for
     /// future strict modes.
     pub fn apply_deltas(&mut self, graph: &Graph, deltas: &[EdgeDelta]) -> Result<(), LinalgError> {
+        let _sp = sgl_trace::span!("delta_update", count = deltas.len());
         if deltas.is_empty() {
             if self.revision != 0 && graph.revision() != self.revision {
                 // The graph moved but the caller reported no delta:
@@ -422,6 +438,7 @@ impl SolverContext {
         }
         if self.iter_flagged() {
             self.stats.refreshes_on_iters += 1;
+            note_refresh("iters");
             // Drop the flagged state so the refresh is counted once
             // (handle_for would otherwise see the flag again).
             self.delta = None;
@@ -434,6 +451,7 @@ impl SolverContext {
             if d.u >= n || d.v >= n || d.u == d.v || !d.dweight.is_finite() {
                 self.stale = true;
                 self.stats.refreshes_on_numeric += 1;
+                note_refresh("numeric");
                 return Ok(());
             }
         }
@@ -462,6 +480,7 @@ impl SolverContext {
             let rank_after = state.rank() + new_edges.len();
             if rank_after > self.policy.max_delta_rank {
                 self.stats.refreshes_on_rank += 1;
+                note_refresh("rank");
                 self.stale = true;
                 return Ok(());
             }
@@ -487,6 +506,7 @@ impl SolverContext {
                         Ok(zs) => zs,
                         Err(_) => {
                             self.stats.refreshes_on_numeric += 1;
+                            note_refresh("numeric");
                             self.stale = true;
                             return Ok(());
                         }
@@ -545,11 +565,14 @@ impl SolverContext {
             Some(c) => c,
             None => {
                 self.stats.refreshes_on_numeric += 1;
+                note_refresh("numeric");
                 self.stale = true;
                 return Ok(());
             }
         };
         self.stats.delta_rank_applied += new_rank_added;
+        sgl_trace::count("solver.delta_updates", 1);
+        sgl_trace::count("solver.delta_rank_applied", new_rank_added as u64);
         self.finish_wrap(graph, state, lap, correction);
         Ok(())
     }
@@ -603,6 +626,7 @@ impl SolverContext {
     /// Panics if `factor` is not positive and finite (the same contract
     /// as `Graph::scale_weights`).
     pub fn apply_scale(&mut self, graph: &Graph, factor: f64) {
+        let _sp = sgl_trace::span!("scale_update", value = factor);
         assert!(
             factor > 0.0 && factor.is_finite(),
             "scale factor must be positive and finite"
@@ -618,6 +642,7 @@ impl SolverContext {
         }
         if self.iter_flagged() {
             self.stats.refreshes_on_iters += 1;
+            note_refresh("iters");
             // Count the refresh once; handle_for must not see the flag
             // again.
             self.delta = None;

@@ -1,0 +1,333 @@
+//! Profile exporters: Chrome trace-event JSON (Perfetto-loadable),
+//! folded-stack text for flamegraph tooling, and a one-page plain-text run
+//! summary.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{counters_snapshot, histograms_snapshot};
+use crate::recorder::{Event, EventKind, Payload};
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_payload_args(payload: &Payload, out: &mut String) {
+    match payload {
+        Payload::None => out.push_str("{}"),
+        Payload::Count(n) => {
+            let _ = write!(out, "{{\"count\":{n}}}");
+        }
+        Payload::Value(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{{\"value\":{v}}}");
+            } else {
+                out.push_str("{\"value\":null}");
+            }
+        }
+        Payload::Label(l) => {
+            out.push_str("{\"label\":\"");
+            escape_json(l, out);
+            out.push_str("\"}");
+        }
+    }
+}
+
+/// Renders events as Chrome trace-event JSON (the `traceEvents` array form).
+///
+/// The output loads directly in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`. Spans become complete (`"ph":"X"`) events, instants
+/// become `"ph":"i"` events; timestamps are microseconds since the recorder
+/// epoch.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(ev.name, &mut out);
+        out.push_str("\",\"cat\":\"sgl\",\"ph\":\"");
+        match ev.kind {
+            EventKind::Span => out.push('X'),
+            EventKind::Instant => out.push('i'),
+        }
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        let _ = write!(out, "\",\"ts\":{ts_us:.3},");
+        if ev.kind == EventKind::Span {
+            let dur_us = ev.dur_ns as f64 / 1000.0;
+            let _ = write!(out, "\"dur\":{dur_us:.3},");
+        } else {
+            out.push_str("\"s\":\"t\",");
+        }
+        let _ = write!(out, "\"pid\":1,\"tid\":{},\"args\":", ev.tid);
+        write_payload_args(&ev.payload, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders span events as folded stacks (`parent;child <microseconds>` lines)
+/// suitable for `flamegraph.pl` or speedscope.
+///
+/// Nesting is reconstructed per thread by interval containment; each line
+/// carries the span's *exclusive* time (its duration minus the duration of
+/// its direct children).
+pub fn folded_stacks(events: &[Event]) -> String {
+    use std::collections::BTreeMap;
+    let mut tallies: BTreeMap<String, i128> = BTreeMap::new();
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut spans: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.tid == tid && e.kind == EventKind::Span)
+            .collect();
+        // Parents sort before their children: earlier start first, longer
+        // duration first on ties.
+        spans.sort_by_key(|e| (e.ts_ns, std::cmp::Reverse(e.dur_ns)));
+        // Stack of (end_ns, path).
+        let mut stack: Vec<(u64, String)> = Vec::new();
+        for ev in spans {
+            let end = ev.ts_ns + ev.dur_ns;
+            while let Some((top_end, _)) = stack.last() {
+                if *top_end <= ev.ts_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let path = match stack.last() {
+                Some((_, parent)) => format!("{parent};{}", ev.name),
+                None => ev.name.to_string(),
+            };
+            *tallies.entry(path.clone()).or_insert(0) += ev.dur_ns as i128;
+            if let Some((_, parent)) = stack.last() {
+                *tallies.entry(parent.clone()).or_insert(0) -= ev.dur_ns as i128;
+            }
+            stack.push((end, path));
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in tallies {
+        let us = (ns.max(0) as f64 / 1000.0).round() as u64;
+        if us > 0 {
+            let _ = writeln!(out, "{path} {us}");
+        }
+    }
+    out
+}
+
+/// Total duration and occurrence count for one span name.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTotal {
+    /// Span name.
+    pub name: &'static str,
+    /// Summed duration across all occurrences, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of occurrences.
+    pub count: u64,
+}
+
+/// Aggregates total duration per span name, restricted to `names` (pass an
+/// empty slice for all names), sorted by descending total.
+pub fn phase_totals(events: &[Event], names: &[&str]) -> Vec<PhaseTotal> {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for ev in events {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        if !names.is_empty() && !names.contains(&ev.name) {
+            continue;
+        }
+        let e = agg.entry(ev.name).or_insert((0, 0));
+        e.0 += ev.dur_ns;
+        e.1 += 1;
+    }
+    let mut out: Vec<PhaseTotal> = agg
+        .into_iter()
+        .map(|(name, (total_ns, count))| PhaseTotal {
+            name,
+            total_ns,
+            count,
+        })
+        .collect();
+    out.sort_by_key(|p| std::cmp::Reverse(p.total_ns));
+    out
+}
+
+fn sketch(bucket_counts: &[u64]) -> String {
+    const GLYPHS: &[u8] = b" .:-=+*#@";
+    let lo = bucket_counts.iter().position(|&c| c > 0);
+    let hi = bucket_counts.iter().rposition(|&c| c > 0);
+    let (lo, hi) = match (lo, hi) {
+        (Some(l), Some(h)) => (l, h),
+        _ => return String::from("(empty)"),
+    };
+    let peak = *bucket_counts[lo..=hi].iter().max().unwrap() as f64;
+    let mut out = String::new();
+    for &c in &bucket_counts[lo..=hi] {
+        let level = if c == 0 {
+            0
+        } else {
+            let frac = c as f64 / peak;
+            1 + (frac * (GLYPHS.len() - 2) as f64).round() as usize
+        };
+        out.push(GLYPHS[level.min(GLYPHS.len() - 1)] as char);
+    }
+    let _ = write!(
+        out,
+        "  [2^{lo}..2^{hi}]",
+        lo = lo.saturating_sub(1),
+        hi = hi
+    );
+    out
+}
+
+/// Renders a one-page plain-text run summary: per-phase wall-clock table,
+/// registered counters, and histogram sketches.
+pub fn summary(events: &[Event]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== sgl-trace summary ==");
+
+    let wall_ns = events
+        .iter()
+        .map(|e| e.ts_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(events.iter().map(|e| e.ts_ns).min().unwrap_or(0));
+    let _ = writeln!(
+        out,
+        "events: {}   traced wall: {:.3} s",
+        events.len(),
+        wall_ns as f64 / 1e9
+    );
+
+    let phases = phase_totals(events, &[]);
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\n-- phases (total time, all occurrences) --");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>7}",
+            "phase", "count", "total", "%"
+        );
+        for p in &phases {
+            let pct = if wall_ns > 0 {
+                100.0 * p.total_ns as f64 / wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {:>10.3}ms {:>6.1}%",
+                p.name,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                pct
+            );
+        }
+    }
+
+    let counters = counters_snapshot();
+    if counters.iter().any(|c| c.value > 0) {
+        let _ = writeln!(out, "\n-- counters --");
+        for c in &counters {
+            if c.value > 0 {
+                let _ = writeln!(out, "{:<32} {:>12}", c.name, c.value);
+            }
+        }
+    }
+
+    let hists = histograms_snapshot();
+    if hists.iter().any(|h| h.count > 0) {
+        let _ = writeln!(out, "\n-- histograms (p50 / p90 / p99) --");
+        for h in &hists {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<32} n={:<8} p50={:<10} p90={:<10} p99={:<10}",
+                h.name, h.count, h.p50, h.p90, h.p99
+            );
+            let _ = writeln!(
+                out,
+                "    {}",
+                sketch(&crate::metrics::histogram(h.name).bucket_counts())
+            );
+        }
+    }
+    out
+}
+
+/// Writes the Chrome trace for `events` to `path`.
+pub fn write_chrome_trace(path: &std::path::Path, events: &[Event]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, ts: u64, dur: u64, tid: u32) -> Event {
+        Event {
+            name,
+            kind: EventKind::Span,
+            ts_ns: ts,
+            dur_ns: dur,
+            tid,
+            payload: Payload::None,
+        }
+    }
+
+    #[test]
+    fn folded_stacks_nest_by_containment() {
+        let events = vec![
+            ev("outer", 0, 1_000_000, 0),
+            ev("inner", 100_000, 400_000, 0),
+            ev("other", 2_000_000, 500_000, 0),
+        ];
+        let folded = folded_stacks(&events);
+        assert!(folded.contains("outer;inner 400"), "{folded}");
+        assert!(folded.contains("outer 600"), "{folded}");
+        assert!(folded.contains("other 500"), "{folded}");
+    }
+
+    #[test]
+    fn chrome_trace_escapes_and_structures() {
+        let events = vec![Event {
+            name: "solve",
+            kind: EventKind::Span,
+            ts_ns: 1500,
+            dur_ns: 2500,
+            tid: 3,
+            payload: Payload::Count(7),
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"count\":7"));
+    }
+}

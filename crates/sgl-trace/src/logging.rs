@@ -1,0 +1,127 @@
+//! Tiny structured log facade gated by the `SGL_LOG` environment variable.
+//!
+//! Quiet by default: with `SGL_LOG` unset (or `0`/`off`) nothing is printed.
+//! `SGL_LOG=warn` (or `error`, `info`, `debug`) raises the threshold; lines
+//! go to stderr in a stable `[sgl <level>] <message>` format so CI logs stay
+//! grep-able.
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Suspicious but recoverable conditions (oversubscription, retries).
+    Warn = 2,
+    /// High-level progress notes.
+    Info = 3,
+    /// Verbose diagnostics.
+    Debug = 4,
+}
+
+impl Level {
+    /// Lower-case name used in the output prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses an `SGL_LOG` value; `None` means logging stays off.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "none" => None,
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "1" | "info" => Some(Level::Info),
+            "2" | "debug" | "trace" => Some(Level::Debug),
+            // Unknown values enable warnings rather than hiding them.
+            _ => Some(Level::Warn),
+        }
+    }
+}
+
+static LOG_THRESHOLD: OnceLock<u8> = OnceLock::new();
+
+fn threshold() -> u8 {
+    *LOG_THRESHOLD.get_or_init(|| {
+        std::env::var("SGL_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .map(|l| l as u8)
+            .unwrap_or(0)
+    })
+}
+
+/// Returns whether messages at `level` are currently emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    (level as u8) <= threshold()
+}
+
+/// Emits one log line to stderr. Use the [`warn!`](crate::warn!),
+/// [`info!`](crate::info!), or [`debug!`](crate::debug!) macros instead of
+/// calling this directly.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[sgl {}] {}", level.as_str(), args);
+}
+
+/// Logs at [`Level::Warn`] when enabled by `SGL_LOG`.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            $crate::log($crate::Level::Warn, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] when enabled by `SGL_LOG`.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            $crate::log($crate::Level::Info, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`] when enabled by `SGL_LOG`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::log($crate::Level::Debug, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("0"), None);
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("1"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("bogus"), Some(Level::Warn));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

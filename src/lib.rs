@@ -164,6 +164,33 @@
 //!
 //! See `examples/serving.rs` for the full loop under concurrent readers
 //! and `bench_serve` for tracked throughput/latency numbers.
+//!
+//! # Observability
+//!
+//! Every layer is instrumented through [`sgl_trace`]: RAII spans on the
+//! learn/solve/serve hot paths, a global metrics registry (counters +
+//! log-scale histograms), and exporters for Chrome `about:tracing` /
+//! Perfetto JSON, folded flame-graph stacks, and plain-text summaries.
+//! Tracing is off by default and costs one relaxed atomic load per
+//! span site; it never touches the deterministic control path, so
+//! results are bit-identical with the recorder on or off:
+//!
+//! ```
+//! sgl_trace::enable();
+//! let truth = sgl_datasets::grid2d(6, 6);
+//! let meas = sgl_core::Measurements::generate(&truth, 12, 1).unwrap();
+//! let cfg = sgl_core::SglConfig::builder().tol(1e-4).build().unwrap();
+//! let _result = sgl_core::Sgl::new(cfg).learn(&meas).unwrap();
+//! sgl_trace::disable();
+//! let events = sgl_trace::take_events();
+//! assert!(events.iter().any(|e| e.name == "iteration"));
+//! let _perfetto_json = sgl_trace::chrome_trace_json(&events);
+//! ```
+//!
+//! Set `SGL_TRACE=<path>` to capture any run without code changes (the
+//! Chrome trace is written when the session finishes) and `SGL_LOG=warn`
+//! (or `info`, `debug`) to surface the log facade on stderr. See the
+//! README's *Observability* section and `bench_learn --trace`.
 
 pub use sgl_baseline;
 pub use sgl_core;
@@ -175,6 +202,7 @@ pub use sgl_multilevel;
 pub use sgl_serve;
 pub use sgl_sfsgl;
 pub use sgl_solver;
+pub use sgl_trace;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
