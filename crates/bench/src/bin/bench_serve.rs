@@ -19,9 +19,21 @@
 //! * **revision** — the solver-revision counters of the final snapshot:
 //!   on the default policy the republish cadence must ride incremental
 //!   delta updates, not per-refresh refactorizations.
+//! * **overload** — the network front-end under deterministic chaos: a
+//!   fresh [`sgl_net::NetServer`] takes waves of a ~10×-capacity
+//!   request burst interleaved with seeded adversarial clients
+//!   (malformed requests, half-open connections, mid-request
+//!   disconnects) while the ingest driver streams batches over HTTP —
+//!   one of them killing the writer via an injected
+//!   [`FaultPlan`] panic. Asserts shed-not-crash
+//!   (excess load gets `429 Retry-After`, admitted requests finish),
+//!   zero torn responses (every `200` bit-matches the pinned snapshot
+//!   of its wave), bounded queue depth, and p99 within the request
+//!   deadline. Always runs quick-sized so the JSON schema is stable;
+//!   `--net` scales it into the full soak.
 //!
-//! Usage: `bench_serve [--quick] [--readers N] [--queries Q]
-//! [--window-us W] [--schema-against PATH]`
+//! Usage: `bench_serve [--quick] [--net] [--readers N] [--queries Q]
+//! [--window-us W] [--chaos-seed S] [--schema-against PATH]`
 //!
 //! `--schema-against` compares the emitted JSON's key set against a
 //! tracked snapshot and fails on drift (the CI smoke mode).
@@ -32,8 +44,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sgl_bench::{banner, fix, repro_dir, time, Args, Table};
-use sgl_core::{sample_node_pairs, Measurements, SglConfig, SglSession};
-use sgl_linalg::{par, DenseMatrix};
+use sgl_core::{sample_node_pairs, FaultKind, FaultPlan, Measurements, SglConfig, SglSession};
+use sgl_linalg::{par, DenseMatrix, Rng};
+use sgl_net::server::loopback;
+use sgl_net::{client, json as netjson, NetOptions, NetServer};
 use sgl_serve::{ServeHandle, ServeOptions, SglServer};
 
 /// Node pairs per resistance query (one micro-batch submission).
@@ -137,6 +151,291 @@ fn json_keys(text: &str) -> Vec<String> {
         i += 1;
     }
     keys.into_iter().collect()
+}
+
+/// Outcome of the overload/chaos arm, for the report and JSON.
+struct OverloadOutcome {
+    waves: usize,
+    clients_per_wave: usize,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    chaos_requests: u64,
+    chaos_clean: u64,
+    versions_observed: usize,
+    writer_restarts: u64,
+    injected_faults: usize,
+    max_queue_depth: u64,
+    queue_capacity: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    deadline_ms: u64,
+}
+
+/// One seeded adversarial client: picks a misbehavior and checks the
+/// server's reaction is clean. Clean means the specific 4xx the junk
+/// deserves, a `429` shed (these clients race a deliberate overload
+/// burst), or a torn-down connection — never a hang and never a 5xx.
+/// Returns whether the reaction was clean.
+fn chaos_client(addr: std::net::SocketAddr, rng: &mut Rng) -> bool {
+    use std::io::Write as _;
+    // A connection-level error is the server ripping the junk down —
+    // acceptable under load; an answered status must be the expected
+    // rejection or a shed.
+    let clean = |expected: u16| {
+        move |r: Result<client::HttpReply, String>| match r {
+            Ok(reply) => reply.status == expected || reply.status == 429,
+            Err(_) => true,
+        }
+    };
+    match rng.next_u64() % 5 {
+        // Malformed verb -> 400.
+        0 => clean(400)(client::raw(addr, b"BREW /coffee HTTP/1.1\r\n\r\n")),
+        // Absurd Content-Length -> refused up front with 413.
+        1 => clean(413)(client::raw(
+            addr,
+            b"POST /resistances HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+        )),
+        // Binary junk -> 400.
+        2 => clean(400)(client::raw(addr, b"\x00\x01\x02\x7f\r\n\r\n")),
+        // Half-open connection: connect and vanish; clean means the
+        // connect itself worked (the server copes silently).
+        3 => std::net::TcpStream::connect(addr).is_ok(),
+        // Mid-request disconnect: half a request, then vanish.
+        _ => match std::net::TcpStream::connect(addr) {
+            Ok(mut s) => {
+                let _ = s.write_all(b"POST /resistances HTTP/1.1\r\ncontent-len");
+                true
+            }
+            Err(_) => false,
+        },
+    }
+}
+
+/// The overload/chaos arm: a [`NetServer`] over a fresh small model
+/// takes `waves` bursts of `burst` concurrent queries (plus seeded
+/// chaos clients), with an HTTP ingest + flush between waves — one
+/// ingest killing the writer through the fault plan. Each wave's `200`s
+/// must bit-match the snapshot pinned for that wave.
+fn overload_arm(full: bool, chaos_seed: u64) -> OverloadOutcome {
+    let (side, waves, burst, chaos_per_wave, workers) = if full {
+        (16, 4, 64, 8, 4)
+    } else {
+        (10, 3, 32, 5, 2)
+    };
+    let m = 12usize;
+    let initial = 8usize;
+    let queue_capacity = 8usize;
+    let deadline_ms = 2_000u64;
+
+    let truth = sgl_datasets::grid2d(side, side);
+    let n = truth.num_nodes();
+    let all = Measurements::generate(&truth, m, 7).expect("measurements");
+    let column_batch = |lo: usize, hi: usize| {
+        let cols: Vec<Vec<f64>> = (lo..hi).map(|j| all.voltages().column(j)).collect();
+        Measurements::from_voltages(DenseMatrix::from_columns(&cols)).expect("batch")
+    };
+    let config = SglConfig::default().with_tol(0.0).with_max_iterations(4);
+    let mut session = SglSession::from_owned(config, column_batch(0, initial)).expect("session");
+    session.run_to_completion().expect("overload-arm learn");
+
+    // The writer dies once, on the second ingest opportunity; the
+    // supervisor must restart it and re-absorb without losing columns.
+    let plan = Arc::new(FaultPlan::new().with_fault(FaultKind::WriterPanic, 1));
+    let serve_opts = ServeOptions {
+        // A slow collection window makes each admitted query occupy its
+        // worker long enough for the burst to pile into the queue.
+        batch_window: Duration::from_millis(5),
+        fault_plan: Some(Arc::clone(&plan)),
+        ..ServeOptions::default()
+    };
+    let server = SglServer::new(session, serve_opts).expect("overload server");
+    let net_opts = NetOptions {
+        workers,
+        queue_capacity,
+        ..NetOptions::default()
+    };
+    let net = NetServer::bind(server, loopback(), net_opts).expect("bind net server");
+    let addr = net.local_addr();
+    let pinned = net.serve_handle();
+    let pool = Arc::new(query_pool(n));
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut requests = 0u64;
+    let mut chaos_requests = 0u64;
+    let mut chaos_clean = 0u64;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut versions = std::collections::BTreeSet::new();
+
+    let per_batch = (m - initial).max(waves) / waves;
+    for wave in 0..waves {
+        // Pin this wave's snapshot: between waves the ingest driver is
+        // quiescent, so every response in the wave must carry exactly
+        // this version and bit-match its canonical answers.
+        let snap = pinned.snapshot();
+        versions.insert(snap.version());
+        let canonical: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|pairs| snap.resistances(pairs).expect("canonical answers"))
+            .collect();
+
+        let barrier = Arc::new(std::sync::Barrier::new(burst + chaos_per_wave));
+        let mut threads = Vec::new();
+        for i in 0..burst {
+            let barrier = Arc::clone(&barrier);
+            let set = (wave * burst + i) % QUERY_POOL;
+            let body = format!(
+                "{{\"pairs\":{}}}",
+                netjson::f64_matrix(
+                    &pool[set]
+                        .iter()
+                        .map(|&(s, t)| vec![s as f64, t as f64])
+                        .collect::<Vec<_>>()
+                )
+            );
+            threads.push(std::thread::spawn(move || {
+                barrier.wait();
+                let t0 = Instant::now();
+                let reply = client::post_with_headers(
+                    addr,
+                    "/resistances",
+                    &[("x-sgl-deadline-ms", &deadline_ms.to_string())],
+                    &body,
+                );
+                (set, reply, t0.elapsed().as_secs_f64() * 1e3)
+            }));
+        }
+        let mut chaos_threads = Vec::new();
+        for c in 0..chaos_per_wave {
+            let barrier = Arc::clone(&barrier);
+            let mut rng = Rng::seed_from_u64(chaos_seed ^ (wave as u64) << 8 ^ c as u64);
+            chaos_threads.push(std::thread::spawn(move || {
+                barrier.wait();
+                chaos_client(addr, &mut rng)
+            }));
+        }
+
+        for t in threads {
+            let (set, reply, ms) = t.join().expect("burst client panicked");
+            let reply = reply.expect("burst client got no reply at all");
+            requests += 1;
+            match reply.status {
+                200 => {
+                    ok += 1;
+                    latencies_ms.push(ms);
+                    let parsed = reply.json().expect("200 body parses");
+                    let version = parsed
+                        .get("version")
+                        .and_then(|v| v.as_usize())
+                        .expect("version tag") as u64;
+                    assert_eq!(
+                        version,
+                        snap.version(),
+                        "cross-version response inside a quiescent wave"
+                    );
+                    let values: Vec<f64> = parsed
+                        .get("resistances")
+                        .and_then(|v| v.as_array())
+                        .expect("resistances array")
+                        .iter()
+                        .map(|x| x.as_f64().expect("numeric resistance"))
+                        .collect();
+                    assert_eq!(
+                        values, canonical[set],
+                        "torn response: wave {wave} answer drifted from its pinned snapshot"
+                    );
+                }
+                429 => {
+                    shed += 1;
+                    assert!(
+                        reply.header("retry-after").is_some(),
+                        "shed response missing Retry-After"
+                    );
+                }
+                other => panic!("overload burst got unexpected status {other}"),
+            }
+        }
+        for t in chaos_threads {
+            chaos_requests += 1;
+            if t.join().expect("chaos client panicked") {
+                chaos_clean += 1;
+            }
+        }
+
+        // Quiescent ingest over the wire; wave 1's batch trips the
+        // injected writer panic.
+        let lo = initial + wave * per_batch;
+        let hi = if wave + 1 == waves {
+            m
+        } else {
+            (lo + per_batch).min(m)
+        };
+        if lo < hi {
+            let batch = column_batch(lo, hi);
+            let cols: Vec<Vec<f64>> = (0..batch.num_measurements())
+                .map(|j| batch.voltages().column(j))
+                .collect();
+            let body = format!("{{\"columns\":{}}}", netjson::f64_matrix(&cols));
+            let reply = client::post(addr, "/ingest", &body).expect("ingest reply");
+            assert_eq!(reply.status, 202, "quiescent ingest must be accepted");
+            let reply = client::post(addr, "/flush", "").expect("flush reply");
+            assert_eq!(reply.status, 200, "flush must succeed (writer restarted)");
+        }
+    }
+
+    assert!(ok > 0, "overload arm admitted nothing");
+    assert!(
+        shed > 0,
+        "a {burst}-client burst over {queue_capacity} queue slots must shed"
+    );
+    assert_eq!(
+        chaos_clean, chaos_requests,
+        "an adversarial client got a non-clean reaction"
+    );
+    assert_eq!(plan.injected_count(), 1, "the writer kill never fired");
+    let serve = net.serve_stats();
+    assert_eq!(
+        serve.writer_restarts, 1,
+        "the killed writer must restart once"
+    );
+    let stats = net.stats();
+    assert!(
+        stats.max_queue_depth <= queue_capacity as u64,
+        "queue depth {} exceeded the watermark",
+        stats.max_queue_depth
+    );
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50_ms = percentile(&latencies_ms, 0.50);
+    let p99_ms = percentile(&latencies_ms, 0.99);
+    assert!(
+        p99_ms < deadline_ms as f64,
+        "admitted p99 {p99_ms:.1} ms blew the {deadline_ms} ms deadline"
+    );
+    let session = net.shutdown().expect("net shutdown");
+    assert_eq!(
+        session.measurements().num_measurements(),
+        m,
+        "drain lost ingested columns"
+    );
+
+    OverloadOutcome {
+        waves,
+        clients_per_wave: burst,
+        requests,
+        ok,
+        shed,
+        chaos_requests,
+        chaos_clean,
+        versions_observed: versions.len(),
+        writer_restarts: serve.writer_restarts,
+        injected_faults: plan.injected_count(),
+        max_queue_depth: stats.max_queue_depth,
+        queue_capacity,
+        p50_ms,
+        p99_ms,
+        deadline_ms,
+    }
 }
 
 fn main() {
@@ -364,6 +663,30 @@ fn main() {
         "server-side latency histogram recorded nothing"
     );
 
+    // ---- Arm 4: network front-end under overload + chaos ----------------
+    let full_net = args.has("net");
+    let chaos_seed: u64 = args.get("chaos-seed", 0xC4A0_5EED);
+    let (overload, overload_wall) = time(|| overload_arm(full_net, chaos_seed));
+    println!(
+        "\noverload ({} soak, chaos seed {chaos_seed:#x}): {} requests over {} waves \
+         of {} clients -> {} ok / {} shed, {} chaos clients all handled cleanly, \
+         writer killed+restarted {}x, queue depth <= {}, \
+         p50 {:.3} ms / p99 {:.3} ms (deadline {} ms), zero torn responses ✓ [{:.2}s]",
+        if full_net { "full" } else { "quick" },
+        overload.requests,
+        overload.waves,
+        overload.clients_per_wave,
+        overload.ok,
+        overload.shed,
+        overload.chaos_requests,
+        overload.writer_restarts,
+        overload.max_queue_depth,
+        overload.p50_ms,
+        overload.p99_ms,
+        overload.deadline_ms,
+        overload_wall,
+    );
+
     if let Some(path) = &trace_path {
         sgl_trace::disable();
         let events = sgl_trace::take_events();
@@ -431,6 +754,32 @@ fn main() {
         stats.query_latency_p99_ms,
         stats.queue_wait_p50_ms,
         stats.queue_wait_p99_ms,
+    ));
+    json.push_str(&format!(
+        "  \"overload\": {{\"full_soak\": {}, \"chaos_seed\": {}, \"waves\": {}, \
+         \"clients_per_wave\": {}, \"requests\": {}, \"ok\": {}, \"shed\": {}, \
+         \"chaos_requests\": {}, \"chaos_clean\": {}, \"versions_observed\": {}, \
+         \"writer_restarts\": {}, \"injected_faults\": {}, \"max_queue_depth\": {}, \
+         \"queue_capacity\": {}, \"overload_p50_ms\": {:.6}, \"overload_p99_ms\": {:.6}, \
+         \"deadline_ms\": {}, \"p99_within_deadline\": true, \"torn_responses\": 0, \
+         \"shed_not_crash\": true}},\n",
+        full_net,
+        chaos_seed,
+        overload.waves,
+        overload.clients_per_wave,
+        overload.requests,
+        overload.ok,
+        overload.shed,
+        overload.chaos_requests,
+        overload.chaos_clean,
+        overload.versions_observed,
+        overload.writer_restarts,
+        overload.injected_faults,
+        overload.max_queue_depth,
+        overload.queue_capacity,
+        overload.p50_ms,
+        overload.p99_ms,
+        overload.deadline_ms,
     ));
     json.push_str(&format!(
         "  \"serve_stats\": {{\"queries_answered\": {}, \"batches_executed\": {}, \

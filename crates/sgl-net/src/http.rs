@@ -1,0 +1,410 @@
+//! Hardened HTTP/1.1 request reading and response writing over
+//! `std::net::TcpStream`.
+//!
+//! This is deliberately a *subset* of HTTP/1.1, shaped for a JSON API
+//! behind a load balancer rather than a general web server: one request
+//! per connection (`Connection: close` on every response), no chunked
+//! transfer encoding, no keep-alive. What it gives up in generality it
+//! buys back in robustness — every read is bounded three ways:
+//!
+//! * **Total read deadline** — a connection gets one wall-clock budget
+//!   for its entire request (headers *and* body). A slowloris client
+//!   trickling one byte per second hits the budget and is dropped; per-
+//!   read socket timeouts alone would let it hold a worker forever.
+//! * **Header cap** — request head larger than `max_header_bytes` is
+//!   rejected with `431` before it can grow.
+//! * **Body cap** — a `Content-Length` beyond `max_body_bytes` is
+//!   rejected with `413` *before* any body byte is read, so an
+//!   oversized upload costs the server nothing but the header read.
+//!
+//! Malformed input never panics and never buffers unbounded: every
+//! deviation maps to a typed [`HttpError`] the caller renders as a
+//! clean 4xx before closing the connection.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on distinct header lines (far above any legitimate
+/// client; a tight cap keeps a header-spam request cheap to reject).
+const MAX_HEADER_LINES: usize = 64;
+
+/// Request methods the API serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only queries.
+    Get,
+    /// Queries with a JSON body, and ingest.
+    Post,
+}
+
+impl Method {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The (recognized) method.
+    pub method: Method,
+    /// The request target, e.g. `/resistances`.
+    pub path: String,
+    /// Raw header pairs in arrival order.
+    headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong reading a request, each mapped to one
+/// clean close-the-connection response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Unparseable request line, header, or body framing → `400`.
+    Malformed(String),
+    /// A recognized HTTP method the API does not serve → `405`.
+    MethodNotAllowed(String),
+    /// Declared `Content-Length` beyond the body cap → `413`.
+    BodyTooLarge {
+        /// The declared length.
+        declared: u64,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Request head grew beyond the header cap → `431`.
+    HeadersTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The connection's total read budget expired mid-request
+    /// (slowloris, stalled upload) → `408`, then close.
+    Deadline,
+    /// The peer vanished before a full request arrived (half-open
+    /// connection, mid-request disconnect); nothing to respond to.
+    Disconnected,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::MethodNotAllowed(m) => write!(f, "method {m} not allowed"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "request head exceeds limit of {limit} bytes")
+            }
+            HttpError::Deadline => write!(f, "read deadline expired mid-request"),
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+        }
+    }
+}
+
+impl HttpError {
+    /// The status this error renders as (`Disconnected` has none — the
+    /// peer is gone).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::MethodNotAllowed(_) => Some((405, "Method Not Allowed")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::HeadersTooLarge { .. } => Some((431, "Request Header Fields Too Large")),
+            HttpError::Deadline => Some((408, "Request Timeout")),
+            HttpError::Disconnected => None,
+        }
+    }
+}
+
+/// The three read bounds (see the [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Cap on the request head (request line + headers), bytes.
+    pub max_header_bytes: usize,
+    /// Cap on the declared/read body, bytes.
+    pub max_body_bytes: usize,
+    /// Total wall-clock budget for reading one request.
+    pub deadline: Duration,
+}
+
+/// Reads and parses one request within `limits`.
+///
+/// # Errors
+/// See [`HttpError`]; the stream is left as-is (callers respond and
+/// close regardless).
+pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Request, HttpError> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+
+    // Accumulate until the blank line, within cap and deadline.
+    let (head_end, body_start) = loop {
+        if let Some(found) = find_head_end(&buf) {
+            break found;
+        }
+        if buf.len() > limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge {
+                limit: limits.max_header_bytes,
+            });
+        }
+        let n = read_bounded(stream, &mut chunk, start, limits.deadline)?;
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > limits.max_header_bytes {
+        return Err(HttpError::HeadersTooLarge {
+            limit: limits.max_header_bytes,
+        });
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let (method, path) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADER_LINES {
+            return Err(HttpError::HeadersTooLarge {
+                limit: limits.max_header_bytes,
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line without ':': {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!(
+                "invalid header name {name:?}"
+            )));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+
+    // Chunked framing is out of scope; rejecting it keeps body
+    // accounting a single Content-Length comparison.
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+
+    let content_length: usize = match request.header("content-length") {
+        None => 0,
+        Some(v) => {
+            let declared: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("unparseable Content-Length {v:?}")))?;
+            if declared > limits.max_body_bytes as u64 {
+                return Err(HttpError::BodyTooLarge {
+                    declared,
+                    limit: limits.max_body_bytes,
+                });
+            }
+            declared as usize
+        }
+    };
+
+    // The body: whatever arrived with the head, then bounded reads for
+    // the remainder. Pipelined extra bytes are ignored (we close).
+    let mut body: Vec<u8> = buf[body_start..].to_vec();
+    while body.len() < content_length {
+        let n = read_bounded(stream, &mut chunk, start, limits.deadline)?;
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { body, ..request })
+}
+
+/// One bounded read: the per-call socket timeout is the *remaining*
+/// connection budget, so the sum of all reads can never exceed it.
+fn read_bounded(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    start: Instant,
+    deadline: Duration,
+) -> Result<usize, HttpError> {
+    let remaining = deadline
+        .checked_sub(start.elapsed())
+        .ok_or(HttpError::Deadline)?;
+    stream
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+        .map_err(|_| HttpError::Disconnected)?;
+    match stream.read(chunk) {
+        Ok(0) => Err(HttpError::Disconnected),
+        Ok(n) => Ok(n),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            Err(HttpError::Deadline)
+        }
+        Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+        Err(_) => Err(HttpError::Disconnected),
+    }
+}
+
+/// Finds the head/body split: `(head_end, body_start)` for the first
+/// `\r\n\r\n` (or bare `\n\n`) terminator.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some((l, l + 2)),
+        (Some(c), _) => Some((c, c + 4)),
+        (None, Some(l)) => Some((l, l + 2)),
+        (None, None) => None,
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        // Recognized-but-unserved verbs get the honest 405; anything
+        // else is line noise.
+        "HEAD" | "PUT" | "DELETE" | "OPTIONS" | "PATCH" | "TRACE" | "CONNECT" => {
+            return Err(HttpError::MethodNotAllowed(method.into()))
+        }
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unrecognized method {other:?}"
+            )))
+        }
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(format!(
+            "request target {target:?} is not origin-form"
+        )));
+    }
+    Ok((method, target.to_string()))
+}
+
+/// Writes one JSON response and flushes. Best-effort by design — the
+/// peer may already be gone, and a failed write on a doomed connection
+/// is not an error worth propagating.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line("GET /healthz HTTP/1.1").unwrap(),
+            (Method::Get, "/healthz".to_string())
+        );
+        assert!(matches!(
+            parse_request_line("BREW /coffee HTTP/1.1"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request_line("DELETE /x HTTP/1.1"),
+            Err(HttpError::MethodNotAllowed(_))
+        ));
+        assert!(matches!(
+            parse_request_line("GET /x SPDY/9"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request_line("GET relative HTTP/1.1"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request_line(""),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"a\r\n\r\nbody"), Some((1, 5)));
+        assert_eq!(find_head_end(b"a\n\nbody"), Some((1, 3)));
+        assert_eq!(find_head_end(b"no terminator"), None);
+        // A bare \n\n before the \r\n\r\n wins (body starts earlier).
+        assert_eq!(find_head_end(b"x\n\nz\r\n\r\n"), Some((1, 3)));
+    }
+
+    #[test]
+    fn error_status_mapping() {
+        assert_eq!(HttpError::Malformed(String::new()).status().unwrap().0, 400);
+        assert_eq!(
+            HttpError::MethodNotAllowed(String::new())
+                .status()
+                .unwrap()
+                .0,
+            405
+        );
+        assert_eq!(
+            HttpError::BodyTooLarge {
+                declared: 9,
+                limit: 1
+            }
+            .status()
+            .unwrap()
+            .0,
+            413
+        );
+        assert_eq!(
+            HttpError::HeadersTooLarge { limit: 1 }.status().unwrap().0,
+            431
+        );
+        assert_eq!(HttpError::Deadline.status().unwrap().0, 408);
+        assert!(HttpError::Disconnected.status().is_none());
+    }
+}

@@ -1,0 +1,441 @@
+//! A minimal, hardened JSON reader/writer for the network boundary.
+//!
+//! Request bodies arrive from untrusted peers, so the parser is strict
+//! RFC 8259 with two defensive bounds: nesting depth is capped (deeply
+//! nested arrays are a classic stack-exhaustion vector) and input size
+//! is already bounded upstream by the HTTP body limit. No external
+//! crates — the same std-only discipline as the rest of the workspace.
+//!
+//! Writing goes the other way: responses embed `f64`s via Rust's
+//! shortest-round-trip `Display`, so a value parsed back from a response
+//! is bit-identical to the served value — the property the chaos
+//! harness leans on when it diffs network answers against a direct
+//! in-process control.
+
+/// Maximum container nesting accepted from the wire.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        let x = self.as_f64()?;
+        (x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x)).then_some(x as usize)
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing garbage rejected).
+///
+/// # Errors
+/// A short human-readable description of the first syntax violation.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    let v = p.value(0)?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                want as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte 0x{b:02x} at offset {}", self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c).ok_or("invalid surrogate pair")?
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else {
+                                char::from_u32(cp).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("invalid escape '\\{}'", esc as char)),
+                    }
+                }
+                // Control characters must be escaped per RFC 8259.
+                0x00..=0x1F => return Err("raw control character in string".into()),
+                _ => {
+                    // Re-validate UTF-8 at the char level by deferring to
+                    // the source slice: step back and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-ASCII \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "non-hex \\u escape".to_string())?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while p.peek().is_some_and(|b| b.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        if !digits(self) {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let x: f64 = text
+            .parse()
+            .map_err(|_| format!("unparseable number '{text}'"))?;
+        // "1e999" parses to infinity; a Laplacian query cannot use it
+        // and letting it through would defeat the finiteness boundary.
+        if !x.is_finite() {
+            return Err(format!("number '{text}' overflows f64"));
+        }
+        Ok(Json::Num(x))
+    }
+
+    fn literal(&mut self, lit: &'a str, v: Json) -> Result<Json, String> {
+        let end = self.pos + lit.len();
+        if self.bytes.len() >= end && &self.bytes[self.pos..end] == lit.as_bytes() {
+            self.pos = end;
+            Ok(v)
+        } else {
+            Err(format!("malformed literal at offset {}", self.pos))
+        }
+    }
+}
+
+/// Renders `s` as a complete JSON string literal (quotes included).
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` array as a JSON array with round-trip precision
+/// (Rust's `Display` for `f64` emits the shortest digits that parse
+/// back to the identical bits).
+pub fn f64_array(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Formats a matrix (array of `f64` arrays).
+pub fn f64_matrix(rows: &[Vec<f64>]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f64_array(r));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_shapes() {
+        let v = parse(r#"{"pairs": [[0, 24], [3, 7]], "note": "a\nb"}"#).unwrap();
+        let pairs = v.get("pairs").unwrap().as_array().unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].as_array().unwrap()[1].as_usize(), Some(24));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a\nb"));
+        assert_eq!(parse("3.5").unwrap().as_f64(), Some(3.5));
+        assert_eq!(parse("[]").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "nul",
+            "1 2",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "--1",
+            "1e999", // overflows f64 — rejected at the boundary
+            "\u{1}", // raw control byte
+            "[\"\u{7}\"]",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_not_recursed() {
+        let bomb = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_and_unicode_roundtrip() {
+        let v = parse(r#""😀 ok é""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600} ok é"));
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn f64_formatting_roundtrips_bits() {
+        let xs = [
+            0.1 + 0.2,
+            std::f64::consts::PI,
+            -1.0 / 3.0,
+            1e-300,
+            6.02214076e23,
+        ];
+        let text = f64_array(&xs);
+        let back = parse(&text).unwrap();
+        for (i, item) in back.as_array().unwrap().iter().enumerate() {
+            let y = item.as_f64().unwrap();
+            assert_eq!(y.to_bits(), xs[i].to_bits(), "lost bits for {}", xs[i]);
+        }
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,331 @@
+//! Admission-control primitives: a per-peer token bucket and an ingest
+//! circuit breaker.
+//!
+//! Both are plain-`std` state machines driven by explicit inputs (a
+//! clock instant, an observed fault count) rather than hidden threads,
+//! so they are cheap, lock-scoped, and deterministic under test.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Token-bucket rate limiter keyed by peer IP.
+///
+/// Each peer gets a bucket of `burst` tokens refilled at `per_second`
+/// tokens per second. A request costs one token; an empty bucket means
+/// the request is shed with `429`. State for a peer is lazily created
+/// on first sight and pruned once the bucket has been full and idle
+/// long enough to be indistinguishable from a fresh one.
+#[derive(Debug)]
+pub struct PeerLimiter {
+    burst: f64,
+    per_second: f64,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+impl PeerLimiter {
+    /// A limiter allowing `burst` immediate requests per peer and a
+    /// sustained `per_second` rate thereafter.
+    pub fn new(burst: u32, per_second: f64) -> Self {
+        PeerLimiter {
+            burst: f64::from(burst.max(1)),
+            per_second: per_second.max(0.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Spends one token for `peer` at time `now`; `false` means shed.
+    pub fn admit(&self, peer: IpAddr, now: Instant) -> bool {
+        let mut buckets = match self.buckets.lock() {
+            Ok(g) => g,
+            // A poisoned limiter fails open: shedding every request
+            // because one thread panicked would be worse than briefly
+            // not limiting.
+            Err(_) => return true,
+        };
+        // Opportunistic prune keeps the map bounded even under a
+        // source-address scan: full-and-idle buckets carry no state.
+        if buckets.len() > 1024 {
+            let burst = self.burst;
+            let per_second = self.per_second;
+            buckets.retain(|_, b| refill(*b, burst, per_second, now).tokens < burst);
+        }
+        let bucket = buckets.entry(peer).or_insert(Bucket {
+            tokens: self.burst,
+            refreshed: now,
+        });
+        *bucket = refill(*bucket, self.burst, self.per_second, now);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn refill(bucket: Bucket, burst: f64, per_second: f64, now: Instant) -> Bucket {
+    let elapsed = now.saturating_duration_since(bucket.refreshed);
+    Bucket {
+        tokens: (bucket.tokens + elapsed.as_secs_f64() * per_second).min(burst),
+        refreshed: now,
+    }
+}
+
+/// Circuit-breaker state over the ingest path.
+///
+/// The breaker watches a monotone *fault counter* (writer restarts +
+/// quarantined batches, sampled from [`ServeStats`]) and trips to
+/// [`BreakerState::Open`] once `trip_after` new faults accumulate
+/// within one observation window. While open, ingest requests are
+/// refused with `503` — queries keep serving — until `cooldown`
+/// elapses, after which a single probe ingest is admitted
+/// ([`BreakerState::HalfOpen`]). A fault-free probe closes the
+/// breaker; a faulty one reopens it for another cooldown.
+///
+/// [`ServeStats`]: sgl_serve::ServeStats
+#[derive(Debug)]
+pub struct Breaker {
+    trip_after: u64,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Fault-counter value at the start of the current window.
+    baseline: u64,
+    /// When the breaker opened (drives the cooldown).
+    opened_at: Option<Instant>,
+    /// Fault-counter value when the half-open probe was admitted.
+    probe_baseline: u64,
+    times_opened: u64,
+}
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: ingest flows.
+    Closed,
+    /// Tripped: ingest refused until the cooldown elapses.
+    Open,
+    /// Probing: exactly one ingest admitted to test recovery.
+    HalfOpen,
+}
+
+/// Verdict for one ingest admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Pass the ingest through.
+    Admit,
+    /// Refuse with `503`; `retry_after` hints when to try again.
+    Refuse {
+        /// Remaining cooldown, rounded up to whole seconds.
+        retry_after: Duration,
+    },
+}
+
+impl Breaker {
+    /// A breaker tripping after `trip_after` faults, cooling down for
+    /// `cooldown`. `trip_after == 0` disables it (always admits).
+    pub fn new(trip_after: u64, cooldown: Duration) -> Self {
+        Breaker {
+            trip_after,
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                baseline: 0,
+                opened_at: None,
+                probe_baseline: 0,
+                times_opened: 0,
+            }),
+        }
+    }
+
+    /// Decides one ingest admission given the current fault counter
+    /// and clock. Called before every ingest request.
+    pub fn admit(&self, faults: u64, now: Instant) -> BreakerDecision {
+        if self.trip_after == 0 {
+            return BreakerDecision::Admit;
+        }
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(_) => return BreakerDecision::Admit,
+        };
+        match inner.state {
+            BreakerState::Closed => {
+                if faults.saturating_sub(inner.baseline) >= self.trip_after {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(now);
+                    inner.times_opened += 1;
+                    sgl_trace::count("net.breaker_open", 1);
+                    BreakerDecision::Refuse {
+                        retry_after: self.cooldown,
+                    }
+                } else {
+                    BreakerDecision::Admit
+                }
+            }
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map_or(Duration::ZERO, |t| now.saturating_duration_since(t));
+                if elapsed >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_baseline = faults;
+                    BreakerDecision::Admit
+                } else {
+                    BreakerDecision::Refuse {
+                        retry_after: self.cooldown - elapsed,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Only one probe flies at a time; concurrent ingests
+                // during the probe wait out a fresh cooldown.
+                BreakerDecision::Refuse {
+                    retry_after: self.cooldown,
+                }
+            }
+        }
+    }
+
+    /// Reports the probe outcome: call after a half-open ingest with
+    /// the post-ingest fault counter.
+    pub fn observe_probe(&self, faults: u64) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        if inner.state != BreakerState::HalfOpen {
+            return;
+        }
+        if faults > inner.probe_baseline {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.times_opened += 1;
+            sgl_trace::count("net.breaker_open", 1);
+        } else {
+            inner.state = BreakerState::Closed;
+            inner.baseline = faults;
+        }
+    }
+
+    /// Current state (for `/stats` and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner
+            .lock()
+            .map(|g| g.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// How many times the breaker has tripped.
+    pub fn times_opened(&self) -> u64 {
+        self.inner
+            .lock()
+            .map(|g| g.times_opened)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(127, 0, 0, last))
+    }
+
+    #[test]
+    fn token_bucket_sheds_past_burst_and_refills() {
+        let limiter = PeerLimiter::new(2, 10.0);
+        let t0 = Instant::now();
+        assert!(limiter.admit(ip(1), t0));
+        assert!(limiter.admit(ip(1), t0));
+        assert!(!limiter.admit(ip(1), t0), "burst exhausted");
+        // A different peer has its own bucket.
+        assert!(limiter.admit(ip(2), t0));
+        // 100ms at 10 tokens/s refills one token.
+        assert!(limiter.admit(ip(1), t0 + Duration::from_millis(150)));
+        assert!(!limiter.admit(ip(1), t0 + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let breaker = Breaker::new(3, Duration::from_secs(5));
+        let t0 = Instant::now();
+        assert_eq!(breaker.admit(0, t0), BreakerDecision::Admit);
+        assert_eq!(breaker.admit(2, t0), BreakerDecision::Admit);
+        // Third fault trips it.
+        assert!(matches!(
+            breaker.admit(3, t0),
+            BreakerDecision::Refuse { .. }
+        ));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.times_opened(), 1);
+        // Still open inside the cooldown.
+        assert!(matches!(
+            breaker.admit(3, t0 + Duration::from_secs(1)),
+            BreakerDecision::Refuse { .. }
+        ));
+        // Cooldown elapsed → half-open probe admitted; a concurrent
+        // attempt is refused.
+        assert_eq!(
+            breaker.admit(3, t0 + Duration::from_secs(6)),
+            BreakerDecision::Admit
+        );
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(matches!(
+            breaker.admit(3, t0 + Duration::from_secs(6)),
+            BreakerDecision::Refuse { .. }
+        ));
+        // Clean probe closes; new faults re-trip from the new baseline.
+        breaker.observe_probe(3);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(
+            breaker.admit(5, t0 + Duration::from_secs(7)),
+            BreakerDecision::Admit
+        );
+        assert!(matches!(
+            breaker.admit(6, t0 + Duration::from_secs(7)),
+            BreakerDecision::Refuse { .. }
+        ));
+        assert_eq!(breaker.times_opened(), 2);
+    }
+
+    #[test]
+    fn faulty_probe_reopens() {
+        let breaker = Breaker::new(1, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(matches!(
+            breaker.admit(1, t0),
+            BreakerDecision::Refuse { .. }
+        ));
+        assert_eq!(
+            breaker.admit(1, t0 + Duration::from_secs(2)),
+            BreakerDecision::Admit
+        );
+        breaker.observe_probe(2);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.times_opened(), 2);
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaker() {
+        let breaker = Breaker::new(0, Duration::from_secs(1));
+        assert_eq!(
+            breaker.admit(u64::MAX, Instant::now()),
+            BreakerDecision::Admit
+        );
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+}

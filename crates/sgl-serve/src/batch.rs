@@ -170,13 +170,24 @@ impl MicroBatcher {
 
     /// Submit one query and block until its reply. The first thread to
     /// find the queue empty leads the flush for everyone who joins
-    /// during the window; followers wait at most `deadline`.
+    /// during the window; followers wait at most the effective deadline.
+    ///
+    /// `deadline` propagates a per-request budget (e.g. from a network
+    /// front-end): the effective deadline is the *smaller* of it and the
+    /// server-wide [`ServeOptions::deadline`] — a request can tighten
+    /// its own budget, never extend the operator's cap. A leader with a
+    /// tight budget also shortens its collection window so it cannot
+    /// sleep its whole budget away before solving.
+    ///
+    /// [`ServeOptions::deadline`]: crate::ServeOptions::deadline
     pub(crate) fn submit(
         &self,
         cell: &SnapshotCell<GraphSnapshot>,
         mut payload: Payload,
+        deadline: Option<Duration>,
     ) -> Result<(u64, Reply), ServeError> {
         let submitted = Instant::now();
+        let effective = deadline.map_or(self.deadline, |d| d.min(self.deadline));
         let _query_sp = sgl_trace::span!("query");
         if let Some(plan) = &self.faults {
             if plan.should_fire(FaultKind::PoisonQuery) {
@@ -194,8 +205,9 @@ impl MicroBatcher {
             queue.len() == 1
         };
         let result = if leader {
-            if !self.window.is_zero() {
-                std::thread::sleep(self.window);
+            let window = self.window.min(effective);
+            if !window.is_zero() {
+                std::thread::sleep(window);
             }
             let batch = std::mem::take(&mut *heal(&self.queue));
             self.execute(cell, batch);
@@ -204,12 +216,13 @@ impl MicroBatcher {
         } else {
             // Followers bound their wait: a stalled or retrying leader
             // must not hold every caller hostage.
-            match rx.recv_timeout(self.deadline) {
+            match rx.recv_timeout(effective) {
                 Ok(reply) => reply,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    sgl_trace::count("serve.deadline_misses", 1);
                     Err(ServeError::DeadlineExceeded {
-                        deadline_ms: self.deadline.as_millis() as u64,
+                        deadline_ms: effective.as_millis() as u64,
                     })
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),

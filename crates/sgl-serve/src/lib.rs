@@ -42,8 +42,14 @@
 //! - **Deadlines and bounded retries** — micro-batched queries retry
 //!   transient solver failures with backoff
 //!   ([`ServeOptions::max_retries`]) and waiting followers give up
-//!   after [`ServeOptions::deadline`] with
+//!   after [`ServeOptions::deadline`] — or a tighter per-request
+//!   deadline ([`ServeHandle::resistances_with_deadline`]) — with
 //!   [`ServeError::DeadlineExceeded`] instead of blocking forever.
+//! - **Ingest backpressure** — the writer's queue is bounded by
+//!   [`ServeOptions::max_pending_batches`]; past the watermark, ingest
+//!   sheds with [`ServeError::IngestBackpressure`]
+//!   ([`ServeStats::batches_rejected`]) instead of queueing without
+//!   limit.
 //! - **Deterministic fault injection** — [`ServeOptions::fault_plan`]
 //!   threads an [`sgl_core::FaultPlan`] into the query path so all of
 //!   the above can be exercised on schedule in tests and benches.
@@ -108,13 +114,30 @@ pub enum ServeError {
     /// possible (readers keep the last snapshot).
     Closed,
     /// A micro-batched query waited past [`ServeOptions::deadline`]
-    /// without an answer (its leader's solve stalled or is retrying);
-    /// the request is abandoned — the caller may resubmit.
+    /// (or the tighter per-request deadline passed to
+    /// [`ServeHandle::resistances_with_deadline`]) without an answer
+    /// (its leader's solve stalled or is retrying); the request is
+    /// abandoned — the caller may resubmit.
     ///
     /// [`ServeOptions::deadline`]: crate::ServeOptions::deadline
+    /// [`ServeHandle::resistances_with_deadline`]: crate::ServeHandle::resistances_with_deadline
     DeadlineExceeded {
-        /// The configured deadline, in milliseconds.
+        /// The effective deadline, in milliseconds.
         deadline_ms: u64,
+    },
+    /// The writer's ingest queue is at
+    /// [`ServeOptions::max_pending_batches`]; the batch was shed instead
+    /// of queued ([`ServeStats::batches_rejected`]). Back off and
+    /// resubmit — queries are unaffected.
+    ///
+    /// [`ServeOptions::max_pending_batches`]: crate::ServeOptions::max_pending_batches
+    /// [`ServeStats::batches_rejected`]: crate::ServeStats::batches_rejected
+    IngestBackpressure {
+        /// Batches queued (including the one being absorbed) when the
+        /// watermark check failed.
+        pending: u64,
+        /// The configured watermark.
+        limit: u64,
     },
 }
 
@@ -126,6 +149,13 @@ impl std::fmt::Display for ServeError {
             ServeError::Closed => write!(f, "serving writer has shut down"),
             ServeError::DeadlineExceeded { deadline_ms } => {
                 write!(f, "query deadline of {deadline_ms} ms exceeded")
+            }
+            ServeError::IngestBackpressure { pending, limit } => {
+                write!(
+                    f,
+                    "ingest queue is full ({pending} batches pending, watermark {limit}); \
+                     batch shed — back off and resubmit"
+                )
             }
         }
     }

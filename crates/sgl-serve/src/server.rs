@@ -52,6 +52,12 @@ pub struct ServeOptions {
     pub max_retries: usize,
     /// Sleep between those retries.
     pub retry_backoff: Duration,
+    /// Watermark on the writer's ingest queue, counted in batches
+    /// (including the one currently being absorbed). Past it,
+    /// [`SglServer::ingest`] sheds with
+    /// [`ServeError::IngestBackpressure`] instead of queueing without
+    /// bound. `0` disables the check (the pre-watermark behavior).
+    pub max_pending_batches: usize,
     /// Deterministic fault-injection schedule threaded into the query
     /// path (poisoned queries) and the writer (injected panics); also
     /// install it on the session via
@@ -70,6 +76,7 @@ impl Default for ServeOptions {
             deadline: Duration::from_secs(5),
             max_retries: 2,
             retry_backoff: Duration::from_micros(500),
+            max_pending_batches: 64,
             fault_plan: None,
         }
     }
@@ -102,6 +109,14 @@ pub struct ServeStats {
     /// [`SglServer::ingest`] or absorb failure in the writer); the
     /// served snapshot is untouched by a quarantined batch.
     pub batches_quarantined: u64,
+    /// Ingest batches shed at the
+    /// [`ServeOptions::max_pending_batches`] watermark
+    /// ([`ServeError::IngestBackpressure`]); they never reached the
+    /// writer.
+    pub batches_rejected: u64,
+    /// Batches currently queued for the writer (including one being
+    /// absorbed) — the depth the watermark bounds.
+    pub pending_batches: u64,
     /// Times the supervised writer thread panicked and was rebuilt from
     /// the accumulated measurements.
     pub writer_restarts: u64,
@@ -147,6 +162,12 @@ struct Shared {
     snapshots_published: AtomicU64,
     measurements_ingested: AtomicU64,
     batches_quarantined: AtomicU64,
+    batches_rejected: AtomicU64,
+    /// Batches queued for the writer (including one being absorbed);
+    /// bounded by `ingest_watermark`.
+    pending_batches: AtomicU64,
+    /// Copy of [`ServeOptions::max_pending_batches`] (0 = unbounded).
+    ingest_watermark: u64,
     writer_restarts: AtomicU64,
 }
 
@@ -203,6 +224,9 @@ impl SglServer {
             snapshots_published: AtomicU64::new(0),
             measurements_ingested: AtomicU64::new(0),
             batches_quarantined: AtomicU64::new(0),
+            batches_rejected: AtomicU64::new(0),
+            pending_batches: AtomicU64::new(0),
+            ingest_watermark: opts.max_pending_batches as u64,
             writer_restarts: AtomicU64::new(0),
         });
         let (tx, rx) = mpsc::channel();
@@ -233,10 +257,13 @@ impl SglServer {
     /// not match the served graph is rejected (and counted in
     /// [`ServeStats::batches_quarantined`]) before it can reach the
     /// writer. Non-finite values cannot arrive at all —
-    /// [`Measurements`]' constructors reject them.
+    /// [`Measurements`]' constructors reject them. The writer's queue is
+    /// bounded: past [`ServeOptions::max_pending_batches`] queued
+    /// batches, ingest sheds instead of buffering without limit.
     ///
     /// # Errors
     /// [`ServeError::BadQuery`] for a mismatched batch;
+    /// [`ServeError::IngestBackpressure`] at the queue watermark;
     /// [`ServeError::Closed`] when the writer has exited (after
     /// shutdown).
     pub fn ingest(&self, batch: Measurements) -> Result<(), ServeError> {
@@ -248,9 +275,32 @@ impl SglServer {
                 batch.num_nodes()
             )));
         }
-        let tx = self.ingest_tx.as_ref().ok_or(ServeError::Closed)?;
-        tx.send(WriterMsg::Ingest(batch))
-            .map_err(|_| ServeError::Closed)
+        // Claim a queue slot before sending so concurrent ingests cannot
+        // overshoot the watermark; release it on rejection or send
+        // failure (the writer releases it after absorbing the batch).
+        let watermark = self.shared.ingest_watermark;
+        let pending = self.shared.pending_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if watermark > 0 && pending > watermark {
+            self.shared.pending_batches.fetch_sub(1, Ordering::Relaxed);
+            self.shared.batches_rejected.fetch_add(1, Ordering::Relaxed);
+            sgl_trace::count("serve.ingest_rejected", 1);
+            return Err(ServeError::IngestBackpressure {
+                pending: pending - 1,
+                limit: watermark,
+            });
+        }
+        let send = self
+            .ingest_tx
+            .as_ref()
+            .ok_or(ServeError::Closed)
+            .and_then(|tx| {
+                tx.send(WriterMsg::Ingest(batch))
+                    .map_err(|_| ServeError::Closed)
+            });
+        if send.is_err() {
+            self.shared.pending_batches.fetch_sub(1, Ordering::Relaxed);
+        }
+        send
     }
 
     /// Block until the writer has processed everything queued so far —
@@ -275,6 +325,27 @@ impl SglServer {
     /// Stop the writer and hand the learning session back out — the
     /// handoff mirror of [`SglServer::new`]. Outstanding handles keep
     /// answering queries from the last snapshot.
+    ///
+    /// # Drain ordering
+    ///
+    /// Shutdown is a deterministic three-step drain:
+    ///
+    /// 1. **Stop-accept** — the ingest sender is dropped; every
+    ///    subsequent [`ingest`](Self::ingest)/[`flush`](Self::flush)
+    ///    fails with [`ServeError::Closed`].
+    /// 2. **Flush** — the writer keeps receiving until the queue is
+    ///    empty, absorbing every batch that was accepted before step 1
+    ///    through the same quarantine/restart machinery as live ingest.
+    ///    The [`max_pending_batches`](ServeOptions::max_pending_batches)
+    ///    watermark bounds how much work this step can represent.
+    /// 3. **Handoff** — the writer thread exits and the session is
+    ///    returned, ready for [`SglSession::finish`].
+    ///
+    /// On the healthy path no accepted batch is silently dropped: each
+    /// is either absorbed (its measurement columns are present in the
+    /// returned session) or accounted for in
+    /// [`ServeStats::batches_quarantined`] — including batches absorbed
+    /// through a writer restart after an injected or real panic.
     ///
     /// # Errors
     /// The writer's ingest error, if it exited early.
@@ -395,6 +466,9 @@ fn writer_loop(
                         }
                     }
                 }
+                // Release the queue slot claimed by `ingest` — the batch
+                // has been fully absorbed, quarantined, or retried.
+                shared.pending_batches.fetch_sub(1, Ordering::Relaxed);
             }
             WriterMsg::Flush(ack) => {
                 let _ = ack.send(());
@@ -433,11 +507,38 @@ impl ServeHandle {
         &self,
         pairs: &[(usize, usize)],
     ) -> Result<QueryResponse<Vec<f64>>, ServeError> {
+        self.resistances_inner(pairs, None)
+    }
+
+    /// [`resistances`](Self::resistances) with a per-request deadline —
+    /// the propagation point for callers that carry their own budget
+    /// (e.g. a network front-end forwarding a client deadline). The
+    /// effective deadline is `deadline.min(ServeOptions::deadline)`; on
+    /// expiry the request is abandoned with
+    /// [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// As [`resistances`](Self::resistances), plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn resistances_with_deadline(
+        &self,
+        pairs: &[(usize, usize)],
+        deadline: Duration,
+    ) -> Result<QueryResponse<Vec<f64>>, ServeError> {
+        self.resistances_inner(pairs, Some(deadline))
+    }
+
+    fn resistances_inner(
+        &self,
+        pairs: &[(usize, usize)],
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse<Vec<f64>>, ServeError> {
         self.count_query();
-        let (version, reply) = self
-            .shared
-            .batcher
-            .submit(&self.shared.cell, Payload::Resistances(pairs.to_vec()))?;
+        let (version, reply) = self.shared.batcher.submit(
+            &self.shared.cell,
+            Payload::Resistances(pairs.to_vec()),
+            deadline,
+        )?;
         match reply {
             Reply::Resistances(value) => Ok(QueryResponse { version, value }),
             Reply::Interpolated(_) => unreachable!("resistance query got interpolation reply"),
@@ -465,11 +566,35 @@ impl ServeHandle {
         &self,
         injections: &[Vec<f64>],
     ) -> Result<QueryResponse<Vec<Vec<f64>>>, ServeError> {
+        self.interpolate_inner(injections, None)
+    }
+
+    /// [`interpolate_batch`](Self::interpolate_batch) with a per-request
+    /// deadline (see
+    /// [`resistances_with_deadline`](Self::resistances_with_deadline)).
+    ///
+    /// # Errors
+    /// As [`interpolate_batch`](Self::interpolate_batch), plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn interpolate_batch_with_deadline(
+        &self,
+        injections: &[Vec<f64>],
+        deadline: Duration,
+    ) -> Result<QueryResponse<Vec<Vec<f64>>>, ServeError> {
+        self.interpolate_inner(injections, Some(deadline))
+    }
+
+    fn interpolate_inner(
+        &self,
+        injections: &[Vec<f64>],
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse<Vec<Vec<f64>>>, ServeError> {
         self.count_query();
-        let (version, reply) = self
-            .shared
-            .batcher
-            .submit(&self.shared.cell, Payload::Interpolate(injections.to_vec()))?;
+        let (version, reply) = self.shared.batcher.submit(
+            &self.shared.cell,
+            Payload::Interpolate(injections.to_vec()),
+            deadline,
+        )?;
         match reply {
             Reply::Interpolated(value) => Ok(QueryResponse { version, value }),
             Reply::Resistances(_) => unreachable!("interpolation query got resistance reply"),
@@ -544,6 +669,8 @@ impl ServeHandle {
             queue_wait_p50_ms: batch.queue_wait_p50_ms,
             queue_wait_p99_ms: batch.queue_wait_p99_ms,
             batches_quarantined: self.shared.batches_quarantined.load(Ordering::Relaxed),
+            batches_rejected: self.shared.batches_rejected.load(Ordering::Relaxed),
+            pending_batches: self.shared.pending_batches.load(Ordering::Relaxed),
             writer_restarts: self.shared.writer_restarts.load(Ordering::Relaxed),
             revision: snap.revision_stats(),
         }
@@ -649,6 +776,144 @@ mod tests {
         let session = server.shutdown().unwrap();
         // The quarantined batch never touched the session.
         assert_eq!(session.measurements().num_measurements(), 12);
+    }
+
+    /// The shutdown contract: batches accepted before the stop are all
+    /// absorbed (never silently dropped) before the session is handed
+    /// back — stop-accept → flush → handoff, with no interleaved flush
+    /// call needed from the caller.
+    #[test]
+    fn shutdown_drains_queued_batches_before_handoff() {
+        let (server, truth) = serving();
+        for seed in 0..3 {
+            server
+                .ingest(Measurements::generate(&truth, 2, 20 + seed).unwrap())
+                .unwrap();
+        }
+        // No flush: shutdown itself must drain all three queued batches.
+        let session = server.shutdown().unwrap();
+        assert_eq!(session.measurements().num_measurements(), 10 + 3 * 2);
+    }
+
+    /// Same drain contract across a poisoned writer: a batch that trips
+    /// an injected panic is re-absorbed through the restart path during
+    /// the drain, so the handed-back session still owns every accepted
+    /// column.
+    #[test]
+    fn shutdown_drain_survives_injected_writer_panic() {
+        let truth = sgl_datasets::grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 3).unwrap();
+        let cfg = SglConfig::builder()
+            .k(4)
+            .r(4)
+            .tol(0.0)
+            .max_iterations(3)
+            .build()
+            .unwrap();
+        let mut session = SglSession::from_owned(cfg, meas).unwrap();
+        session.run_to_completion().unwrap();
+        let plan = Arc::new(FaultPlan::new().with_fault(FaultKind::WriterPanic, 1));
+        let opts = ServeOptions {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServeOptions::default()
+        };
+        let server = SglServer::new(session, opts).unwrap();
+        for seed in 0..3 {
+            server
+                .ingest(Measurements::generate(&truth, 2, 30 + seed).unwrap())
+                .unwrap();
+        }
+        let stats = server.stats();
+        let session = server.shutdown().unwrap();
+        assert_eq!(session.measurements().num_measurements(), 10 + 3 * 2);
+        // The panic fired during the drain (or just before); either way
+        // nothing was quarantined on this healthy-retry path.
+        assert_eq!(stats.batches_rejected, 0);
+        assert_eq!(plan.injected_count(), 1);
+    }
+
+    /// Past the `max_pending_batches` watermark, ingest sheds with
+    /// `IngestBackpressure` instead of queueing without bound, and the
+    /// server keeps serving and absorbing what it did accept.
+    #[test]
+    fn ingest_sheds_at_the_pending_watermark() {
+        let truth = sgl_datasets::grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 3).unwrap();
+        let cfg = SglConfig::builder()
+            .k(4)
+            .r(4)
+            .tol(0.0)
+            .max_iterations(3)
+            .build()
+            .unwrap();
+        let mut session = SglSession::from_owned(cfg, meas).unwrap();
+        session.run_to_completion().unwrap();
+        let opts = ServeOptions {
+            max_pending_batches: 1,
+            ..ServeOptions::default()
+        };
+        let server = SglServer::new(session, opts).unwrap();
+
+        // Flood faster than the writer can absorb: with a watermark of
+        // one, rejections must appear long before 64 sends complete.
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        for seed in 0..64 {
+            match server.ingest(Measurements::generate(&truth, 1, 100 + seed).unwrap()) {
+                Ok(()) => accepted += 1,
+                Err(ServeError::IngestBackpressure { limit, .. }) => {
+                    assert_eq!(limit, 1);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected ingest error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "watermark of 1 never shed under a flood");
+        let stats = server.stats();
+        assert_eq!(stats.batches_rejected as usize, rejected);
+        assert!(stats.pending_batches <= 1);
+        // Shed batches never reached the writer; accepted ones all land.
+        let reader = server.handle();
+        assert!(reader.resistances(&[(0, 24)]).is_ok());
+        let session = server.shutdown().unwrap();
+        assert_eq!(session.measurements().num_measurements(), 10 + accepted);
+    }
+
+    /// A per-request deadline tighter than the server default maps onto
+    /// `DeadlineExceeded` for a follower stuck behind a slow leader.
+    #[test]
+    fn per_request_deadline_bounds_a_followers_wait() {
+        let truth = sgl_datasets::grid2d(5, 5);
+        let meas = Measurements::generate(&truth, 10, 3).unwrap();
+        let cfg = SglConfig::builder()
+            .k(4)
+            .r(4)
+            .tol(0.0)
+            .max_iterations(3)
+            .build()
+            .unwrap();
+        let mut session = SglSession::from_owned(cfg, meas).unwrap();
+        session.run_to_completion().unwrap();
+        let opts = ServeOptions {
+            // A long collection window: the leader sleeps it out while
+            // the follower's tight budget expires.
+            batch_window: Duration::from_millis(300),
+            ..ServeOptions::default()
+        };
+        let server = SglServer::new(session, opts).unwrap();
+        let leader = server.handle();
+        let follower = server.handle();
+
+        let lead = std::thread::spawn(move || leader.resistances(&[(0, 24)]));
+        // Join the open window as a follower with a 5 ms budget.
+        std::thread::sleep(Duration::from_millis(50));
+        let err = follower
+            .resistances_with_deadline(&[(1, 23)], Duration::from_millis(5))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { deadline_ms } if deadline_ms <= 5));
+        // The leader is unaffected by the follower's expiry.
+        assert!(lead.join().unwrap().is_ok());
+        assert_eq!(server.stats().deadline_misses, 1);
     }
 
     #[test]

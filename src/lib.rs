@@ -20,6 +20,9 @@
 //! * [`sgl_baseline`] — kNN and dense graphical-Lasso-style baselines.
 //! * [`sgl_serve`] — concurrent snapshot-based query serving with
 //!   streaming measurement ingest ([`SglServer`](sgl_serve::SglServer)).
+//! * [`sgl_net`] — std-only HTTP/1.1 front-end with admission control,
+//!   deadline propagation, and an ingest circuit breaker
+//!   ([`NetServer`](sgl_net::NetServer)).
 //!
 //! # Quickstart
 //!
@@ -199,6 +202,7 @@ pub use sgl_graph;
 pub use sgl_knn;
 pub use sgl_linalg;
 pub use sgl_multilevel;
+pub use sgl_net;
 pub use sgl_serve;
 pub use sgl_sfsgl;
 pub use sgl_solver;
@@ -217,6 +221,7 @@ pub mod prelude {
         learn_multilevel, sparsify_by_resistance, MultilevelHierarchy, MultilevelOptions,
         MultilevelResult, SparsifyOptions,
     };
+    pub use sgl_net::{NetError, NetOptions, NetServer, NetStats, RateLimit};
     pub use sgl_serve::{
         GraphSnapshot, QueryResponse, ServeError, ServeHandle, ServeOptions, ServeStats, SglServer,
     };
