@@ -78,6 +78,7 @@ impl Json {
 /// A short human-readable description of the first syntax violation.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
+        text,
         bytes: text.as_bytes(),
         pos: 0,
     };
@@ -91,6 +92,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -242,14 +244,19 @@ impl<'a> Parser<'a> {
                 // Control characters must be escaped per RFC 8259.
                 0x00..=0x1F => return Err("raw control character in string".into()),
                 _ => {
-                    // Re-validate UTF-8 at the char level by deferring to
-                    // the source slice: step back and take the full char.
-                    self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the longest run of plain bytes in one slice.
+                    // The input arrived as `&str`, so it is already valid
+                    // UTF-8; every stop byte is ASCII and multi-byte
+                    // sequences never contain ASCII, so both ends of the
+                    // run sit on char boundaries.
+                    let start = self.pos - 1;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if matches!(b, b'"' | b'\\' | 0x00..=0x1F) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[start..self.pos]);
                 }
             }
         }
@@ -419,6 +426,22 @@ mod tests {
         let v = parse(r#""😀 ok é""#).unwrap();
         assert_eq!(v.as_str(), Some("\u{1F600} ok é"));
         assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression: the old parser re-ran UTF-8 validation over the
+        // whole remaining input per character (O(n^2)), turning a
+        // sub-megabyte body into seconds of CPU. This finishes
+        // instantly with linear scanning — and hangs the suite if the
+        // quadratic behaviour ever comes back.
+        let long = "héllo wörld ".repeat(64 * 1024); // ~0.9 MB
+        let doc = format!("{{\"note\":{}}}", string(&long));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("note").unwrap().as_str(), Some(long.as_str()));
+        // Escapes interleaved with multi-byte runs still land right.
+        let v = parse(r#""a\né😀\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\né\u{1F600}\t"));
     }
 
     #[test]

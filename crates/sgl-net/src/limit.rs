@@ -10,18 +10,42 @@ use std::net::IpAddr;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Prune cadence: one maintenance pass per this many admissions, so
+/// the accept path pays O(map/PRUNE_EVERY) ≈ O(1) amortized per
+/// connection instead of a full-map scan on every admit.
+const PRUNE_EVERY: u32 = 1024;
+
+/// Hard cap on tracked peers. A spoofed source-address flood creates
+/// buckets that hold `burst - 1` tokens (not prunable as full-and-idle
+/// until fully refilled), so idle-pruning alone cannot bound the map;
+/// the maintenance pass evicts least-recently-seen buckets beyond this
+/// cap. The map therefore never exceeds `MAX_PEERS + PRUNE_EVERY`.
+const MAX_PEERS: usize = 4096;
+
 /// Token-bucket rate limiter keyed by peer IP.
 ///
 /// Each peer gets a bucket of `burst` tokens refilled at `per_second`
 /// tokens per second. A request costs one token; an empty bucket means
 /// the request is shed with `429`. State for a peer is lazily created
-/// on first sight and pruned once the bucket has been full and idle
-/// long enough to be indistinguishable from a fresh one.
+/// on first sight; a periodic maintenance pass (every `PRUNE_EVERY`
+/// admissions) drops buckets that refilled to full — indistinguishable
+/// from fresh ones — and evicts the least-recently-seen peers beyond
+/// `MAX_PEERS`, so memory and per-admission cost stay bounded even
+/// under a spoofed source-address flood. Eviction forgets a dormant
+/// peer's spent tokens (it may burst again on return); that is the
+/// price of bounded state, minimized by evicting oldest-first.
 #[derive(Debug)]
 pub struct PeerLimiter {
     burst: f64,
     per_second: f64,
-    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    buckets: Mutex<Buckets>,
+}
+
+#[derive(Debug, Default)]
+struct Buckets {
+    map: HashMap<IpAddr, Bucket>,
+    /// Admissions since the last maintenance pass.
+    since_prune: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +61,7 @@ impl PeerLimiter {
         PeerLimiter {
             burst: f64::from(burst.max(1)),
             per_second: per_second.max(0.0),
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(Buckets::default()),
         }
     }
 
@@ -50,14 +74,12 @@ impl PeerLimiter {
             // not limiting.
             Err(_) => return true,
         };
-        // Opportunistic prune keeps the map bounded even under a
-        // source-address scan: full-and-idle buckets carry no state.
-        if buckets.len() > 1024 {
-            let burst = self.burst;
-            let per_second = self.per_second;
-            buckets.retain(|_, b| refill(*b, burst, per_second, now).tokens < burst);
+        buckets.since_prune += 1;
+        if buckets.since_prune >= PRUNE_EVERY {
+            buckets.since_prune = 0;
+            self.prune(&mut buckets, now);
         }
-        let bucket = buckets.entry(peer).or_insert(Bucket {
+        let bucket = buckets.map.entry(peer).or_insert(Bucket {
             tokens: self.burst,
             refreshed: now,
         });
@@ -68,6 +90,34 @@ impl PeerLimiter {
         } else {
             false
         }
+    }
+
+    /// Maintenance pass: drop full-and-idle buckets (no state worth
+    /// keeping), then enforce the hard cap by evicting the least-
+    /// recently-seen peers.
+    fn prune(&self, buckets: &mut Buckets, now: Instant) {
+        let (burst, per_second) = (self.burst, self.per_second);
+        buckets
+            .map
+            .retain(|_, b| refill(*b, burst, per_second, now).tokens < burst);
+        if buckets.map.len() > MAX_PEERS {
+            let mut by_age: Vec<(Instant, IpAddr)> = buckets
+                .map
+                .iter()
+                .map(|(ip, b)| (b.refreshed, *ip))
+                .collect();
+            by_age.sort_unstable_by_key(|&(refreshed, _)| refreshed);
+            let excess = buckets.map.len() - MAX_PEERS;
+            for (_, ip) in by_age.into_iter().take(excess) {
+                buckets.map.remove(&ip);
+            }
+        }
+    }
+
+    /// Number of peers currently tracked (bounded by
+    /// `MAX_PEERS + PRUNE_EVERY`; see [`PeerLimiter`]).
+    pub fn tracked_peers(&self) -> usize {
+        self.buckets.lock().map(|g| g.map.len()).unwrap_or(0)
     }
 }
 
@@ -219,6 +269,25 @@ impl Breaker {
         }
     }
 
+    /// Marks the in-flight half-open probe as failed without
+    /// consulting fault counters — for when the probe ingest errored
+    /// before ever reaching the writer (backpressure, synchronous
+    /// quarantine, closed server), so the counters prove nothing about
+    /// the path's health.
+    pub fn probe_failed(&self) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        if inner.state != BreakerState::HalfOpen {
+            return;
+        }
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(Instant::now());
+        inner.times_opened += 1;
+        sgl_trace::count("net.breaker_open", 1);
+    }
+
     /// Current state (for `/stats` and tests).
     pub fn state(&self) -> BreakerState {
         self.inner
@@ -257,6 +326,51 @@ mod tests {
         // 100ms at 10 tokens/s refills one token.
         assert!(limiter.admit(ip(1), t0 + Duration::from_millis(150)));
         assert!(!limiter.admit(ip(1), t0 + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn spoofed_flood_keeps_peer_map_bounded() {
+        let limiter = PeerLimiter::new(4, 1.0);
+        let t0 = Instant::now();
+        // 20k distinct source addresses at one instant: none of the
+        // buckets can refill to full, so only the hard cap bounds the
+        // map. Eviction must keep it (and per-admit cost) bounded.
+        for i in 0..20_000u32 {
+            let peer = IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + i));
+            assert!(limiter.admit(peer, t0), "first sight always admits");
+        }
+        assert!(
+            limiter.tracked_peers() <= MAX_PEERS + PRUNE_EVERY as usize,
+            "map grew to {} peers",
+            limiter.tracked_peers()
+        );
+        // Idle prune still reclaims everything once buckets refill.
+        limiter.admit(ip(1), t0 + Duration::from_secs(3600));
+        for _ in 0..PRUNE_EVERY {
+            limiter.admit(ip(1), t0 + Duration::from_secs(7200));
+        }
+        assert!(limiter.tracked_peers() <= 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_counters() {
+        let breaker = Breaker::new(1, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(matches!(
+            breaker.admit(1, t0),
+            BreakerDecision::Refuse { .. }
+        ));
+        assert_eq!(
+            breaker.admit(1, t0 + Duration::from_secs(2)),
+            BreakerDecision::Admit
+        );
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.probe_failed();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.times_opened(), 2);
+        // A no-op outside the half-open state.
+        breaker.probe_failed();
+        assert_eq!(breaker.times_opened(), 2);
     }
 
     #[test]

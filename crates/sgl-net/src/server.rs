@@ -306,6 +306,12 @@ impl NetServer {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        // Order the stop flag before any worker's next Condvar::wait:
+        // a worker that checked `stop` under the jobs lock but has not
+        // parked yet would otherwise miss this notification and sleep
+        // forever. Cycling the mutex forces that worker into `wait`
+        // (where notification is guaranteed) before we notify.
+        drop(lock(&self.inner.jobs));
         self.inner.job_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -737,6 +743,10 @@ fn post_ingest(inner: &Arc<Inner>, request: &Request) -> Response {
         }
         BreakerDecision::Admit => {}
     }
+    // Only the single admitted half-open ingest sees this state —
+    // concurrent attempts were refused above — so it alone carries
+    // probe-observation duty.
+    let probe = inner.breaker.state() == BreakerState::HalfOpen;
 
     let body = match parse_body(request) {
         Ok(b) => b,
@@ -760,10 +770,28 @@ fn post_ingest(inner: &Arc<Inner>, request: &Request) -> Response {
             None => Err(ServeError::Closed),
         }
     };
-    // Tell the breaker how the (possible) half-open probe went.
-    inner
-        .breaker
-        .observe_probe(fault_count(&inner.handle.stats()));
+    if probe {
+        match &result {
+            Ok(()) => {
+                // Ingest only *enqueues* to the async writer; restarts
+                // or quarantines caused by the probe batch surface in
+                // the fault counters only once it is absorbed. Flush
+                // before sampling so the breaker judges the probe's
+                // real outcome, not a stale counter.
+                let _ = match lock(&inner.server).as_ref() {
+                    Some(server) => server.flush(),
+                    None => Err(ServeError::Closed),
+                };
+                inner
+                    .breaker
+                    .observe_probe(fault_count(&inner.handle.stats()));
+            }
+            // The probe never reached the writer (backpressure,
+            // synchronous quarantine, closed server): the path is not
+            // proven healthy, so reopen rather than consult counters.
+            Err(_) => inner.breaker.probe_failed(),
+        }
+    }
     match result {
         Ok(()) => (
             202,
